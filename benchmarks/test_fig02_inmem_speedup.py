@@ -1,0 +1,20 @@
+"""Figure 2: in-memory E2LSH speedup over SRS and QALSH."""
+
+from repro.experiments import fig02_inmem_speedup
+
+
+def test_fig02(scale, benchmark):
+    rows = benchmark.pedantic(
+        fig02_inmem_speedup.run, args=(scale,), rounds=1, iterations=1
+    )
+    print("\n" + fig02_inmem_speedup.format_table(rows))
+
+    for row in rows:
+        # Observation 1: E2LSH's computational cost is consistently lower.
+        assert row.speedup_vs_srs > 1.0, f"{row.dataset}: E2LSH must beat SRS"
+        assert row.speedup_vs_qalsh > 1.0, f"{row.dataset}: E2LSH must beat QALSH"
+        # SRS is consistently faster than QALSH (why the paper keeps SRS
+        # as the sole small-index baseline afterwards).
+        assert row.qalsh_ms > row.srs_ms, f"{row.dataset}: SRS must beat QALSH"
+    # At least one dataset shows an order-of-magnitude gap to QALSH.
+    assert max(r.speedup_vs_qalsh for r in rows) > 10.0

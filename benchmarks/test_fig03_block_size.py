@@ -1,0 +1,27 @@
+"""Figure 3: I/Os per query vs accuracy for varying block size."""
+
+from repro.experiments import fig03_block_size
+
+
+def test_fig03(scale, bench_dataset, benchmark):
+    rows = benchmark.pedantic(
+        fig03_block_size.run, args=(scale, bench_dataset), rounds=1, iterations=1
+    )
+    print("\n" + fig03_block_size.format_table(rows))
+
+    # Smaller block sizes can only *increase* the I/O count at any
+    # accuracy level; B = inf is the floor.
+    by_ratio: dict[float, dict[object, float]] = {}
+    for row in rows:
+        by_ratio.setdefault(row.overall_ratio, {})[row.block_size] = row.n_io
+    for ratio, counts in by_ratio.items():
+        assert counts[128] >= counts[512] >= counts[4096] >= counts[None] - 1e-9
+
+    # Observation 2: the I/O count tends to grow toward high accuracy.
+    finest = sorted({r.overall_ratio for r in rows})
+    if len(finest) >= 2:
+        n_io_best = by_ratio[finest[0]][None]
+        n_io_worst = by_ratio[finest[-1]][None]
+        assert n_io_best >= n_io_worst * 0.8, (
+            "I/O count should not collapse at high accuracy"
+        )

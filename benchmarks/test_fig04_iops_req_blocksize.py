@@ -1,0 +1,19 @@
+"""Figure 4: IOPS requirement to match SRS, per block size (SIFT)."""
+
+from repro.experiments import fig04_08_requirements as req
+
+
+def test_fig04(scale, bench_dataset, benchmark):
+    curves = benchmark.pedantic(req.fig4, args=(scale, bench_dataset), rounds=1, iterations=1)
+    print("\n" + req.format_curves(curves, "Figure 4: IOPS required to match SRS (per block size)"))
+
+    # Observation 3: a few hundred kIOPS suffices across the sweep —
+    # orders of magnitude beyond HDDs, within a single cSSD's reach.
+    for curve in curves:
+        assert curve.max_read_iops() < 1_000_000, curve.label
+    # Smaller blocks never lower the requirement.
+    by_label = {c.label: c for c in curves}
+    b128 = next(c for label, c in by_label.items() if "B=128" in label)
+    binf = next(c for label, c in by_label.items() if "B=inf" in label)
+    for p128, pinf in zip(b128.points, binf.points):
+        assert p128.read_iops >= pinf.read_iops - 1e-9

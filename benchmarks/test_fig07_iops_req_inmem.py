@@ -1,0 +1,20 @@
+"""Figure 7: IOPS requirement to reach in-memory E2LSH speeds."""
+
+from repro.experiments import fig04_08_requirements as req
+
+
+def test_fig07(scale, benchmark):
+    curves = benchmark.pedantic(req.fig7, args=(scale,), rounds=1, iterations=1)
+    print("\n" + req.format_curves(curves, "Figure 7: IOPS required for in-memory E2LSH speeds"))
+
+    for curve in curves:
+        worst_iops = curve.max_read_iops()
+        # Observation 4: in-memory-class speed needs MIOPS-class storage
+        # (well beyond one cSSD at 273 kIOPS, within eSSD/XLFDD reach).
+        assert worst_iops > 273_000 * 0.5, curve.label
+        assert worst_iops < 100e6, curve.label
+        # Eq. 16: the CPU-overhead requirement is ~10x the IOPS one,
+        # i.e. tens of ns per request — the XLFDD interface regime.
+        finite = [p for p in curve.points if p.request_rate != float("inf")]
+        for point in finite:
+            assert point.request_rate >= point.read_iops

@@ -1,0 +1,18 @@
+"""Figure 8: in-memory-speed IOPS requirement for varying k (SIFT)."""
+
+from repro.experiments import fig04_08_requirements as req
+
+
+def test_fig08(scale, bench_dataset, benchmark):
+    ks = (1, 10, 100)
+    curves = benchmark.pedantic(
+        req.fig8, args=(scale, bench_dataset, ks), rounds=1, iterations=1
+    )
+    print("\n" + req.format_curves(curves, "Figure 8: in-memory-speed requirement, varying k"))
+
+    # "No substantial change in the IOPS requirements is observed for
+    # larger k": requirements stay within one order of magnitude of k=1,
+    # because T_E2LSH and N_io grow together.
+    base = curves[0].max_read_iops()
+    for curve in curves[1:]:
+        assert base / 10 < curve.max_read_iops() < base * 10, curve.label

@@ -1,0 +1,23 @@
+"""Figure 11: speedup over SRS for different storage configurations."""
+
+from repro.experiments import fig11_storage_configs
+
+
+def test_fig11(scale, bench_dataset, benchmark):
+    points = benchmark.pedantic(
+        fig11_storage_configs.run, args=(scale, bench_dataset), rounds=1, iterations=1
+    )
+    print("\n" + fig11_storage_configs.format_table(points))
+    groups = fig11_storage_configs.group_mean_speedups(points)
+    print("group geometric-mean speedups:", {g: round(s, 2) for g, s in groups.items()})
+
+    # The paper's ordering, bottom to top: the single cSSD is the slowest
+    # storage configuration; SPDK on eSSDs beats every io_uring config;
+    # XLFDD reaches (and may exceed) the in-memory speed.
+    assert groups[1] < groups[4], "one cSSD must trail eSSD+SPDK"
+    assert groups[2] < groups[4], "io_uring's CPU overhead must cap group 2"
+    assert groups[4] <= groups[5] * 1.1, "eSSD+SPDK approaches but trails in-memory"
+    assert groups[6] > groups[4], "XLFDD must beat eSSD+SPDK"
+    assert groups[6] > groups[5] * 0.9, "XLFDD reaches in-memory-class speed"
+    # E2LSHoS beats SRS even on a single consumer SSD (Observation 3).
+    assert groups[1] > 1.0

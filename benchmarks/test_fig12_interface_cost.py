@@ -1,0 +1,19 @@
+"""Figure 12: I/O cost vs computation per storage interface."""
+
+from repro.experiments import fig12_interface_cost
+
+
+def test_fig12(scale, bench_dataset, benchmark):
+    rows = benchmark.pedantic(
+        fig12_interface_cost.run, args=(scale, bench_dataset), rounds=1, iterations=1
+    )
+    print("\n" + fig12_interface_cost.format_table(rows))
+
+    by_mode = {r.mode: r for r in rows}
+    # The I/O CPU cost shrinks with lighter interfaces.
+    assert by_mode["io_uring"].io_cost_ms > by_mode["spdk"].io_cost_ms > by_mode["xlfdd"].io_cost_ms
+    # The computation component is interface-independent.
+    assert abs(by_mode["io_uring"].compute_ms - by_mode["xlfdd"].compute_ms) < 1e-6
+    # XLFDD's total approaches (or beats) the in-memory execution, whose
+    # larger footprint inflates its compute (Sec. 6.1).
+    assert by_mode["xlfdd"].total_ms < by_mode["in-memory"].total_ms * 1.1

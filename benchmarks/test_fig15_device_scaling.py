@@ -1,0 +1,21 @@
+"""Figure 15: query speed and device statistics vs number of devices."""
+
+from repro.experiments import fig15_device_scaling
+
+
+def test_fig15(scale, bench_dataset, benchmark):
+    rows = benchmark.pedantic(
+        fig15_device_scaling.run, args=(scale, bench_dataset), rounds=1, iterations=1
+    )
+    print("\n" + fig15_device_scaling.format_table(rows))
+
+    # Query speed is non-decreasing in the device count (up to noise)
+    # and proportional to delivered IOPS while storage-bound.
+    assert rows[-1].queries_per_second >= rows[0].queries_per_second * 0.95
+    for row in rows:
+        ratio = row.queries_per_second / row.observed_kiops
+        base = rows[0].queries_per_second / rows[0].observed_kiops
+        assert 0.5 < ratio / base < 2.0, "speed should track delivered IOPS"
+    # Fewer devices run at higher per-device usage and higher latency.
+    assert rows[0].device_usage > rows[-1].device_usage
+    assert rows[0].mean_latency_us >= rows[-1].mean_latency_us * 0.9

@@ -1,0 +1,29 @@
+"""Figure 16: query speeds with multithreading."""
+
+from repro.experiments import fig16_multithreading
+
+
+def test_fig16(scale, bench_dataset, benchmark):
+    worker_counts = (1, 2, 4, 8, 16, 32)
+    rows = benchmark.pedantic(
+        fig16_multithreading.run,
+        args=(scale, bench_dataset, worker_counts),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + fig16_multithreading.format_table(rows))
+
+    first, last = rows[0], rows[-1]
+    scaling = last.workers / first.workers
+    # SRS (pure compute) scales linearly by construction.
+    assert abs(last.srs_qps / first.srs_qps - scaling) < 1e-6
+    # XLFDD x 12 has IOPS to spare: near-linear scaling.
+    assert last.xlfdd_qps > first.xlfdd_qps * scaling * 0.5
+    # cSSD x 4 plateaus once the drives saturate: it must fall short of
+    # linear scaling and end up slower than XLFDD.
+    assert last.cssd_qps < first.cssd_qps * scaling * 0.9
+    assert last.cssd_qps < last.xlfdd_qps
+    # Throughput never decreases with more workers.
+    for earlier, later in zip(rows, rows[1:]):
+        assert later.cssd_qps >= earlier.cssd_qps * 0.9
+        assert later.xlfdd_qps >= earlier.xlfdd_qps * 0.9

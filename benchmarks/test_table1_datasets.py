@@ -1,0 +1,23 @@
+"""Table 1: dataset analogs and their hardness statistics."""
+
+from repro.experiments import table1_datasets
+
+
+def test_table1(scale, benchmark):
+    rows = benchmark.pedantic(table1_datasets.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + table1_datasets.format_table(rows))
+
+    by_name = {r.name: r for r in rows}
+    # Shape: the structureless synthetic sets are the hardest (RC near 1,
+    # LID near d); clustered feature sets are easy (RC >> 1, low LID).
+    if "rand" in by_name:
+        assert by_name["rand"].rc < 1.6
+    if "gauss" in by_name:
+        assert by_name["gauss"].rc < 1.6
+    for easy in ("msong", "sift", "mnist", "bigann"):
+        if easy in by_name:
+            assert by_name[easy].rc > 2.0, f"{easy} should be an easy dataset"
+    if "gauss" in by_name and "sift" in by_name:
+        assert by_name["gauss"].lid > by_name["sift"].lid
+    if "rand" in by_name and "mnist" in by_name:
+        assert by_name["rand"].lid > by_name["mnist"].lid

@@ -1,0 +1,21 @@
+"""Table 2: storage device random-read performance at QD 1 and 128."""
+
+from repro.experiments import table2_devices
+
+
+def test_table2(benchmark):
+    rows = benchmark.pedantic(table2_devices.run, rounds=1, iterations=1)
+    print("\n" + table2_devices.format_table(rows))
+
+    for row in rows:
+        # Calibration: the simulated device reproduces the paper's two
+        # measured operating points within 10%.
+        assert abs(row.qd1_kiops - row.paper_qd1_kiops) / row.paper_qd1_kiops < 0.10
+        assert abs(row.qd128_kiops - row.paper_qd128_kiops) / row.paper_qd128_kiops < 0.10
+
+    by_name = {r.device: r for r in rows}
+    # Flash is orders of magnitude above the HDD reference point.
+    assert by_name["cssd"].qd128_kiops > 100 * by_name["hdd"].qd128_kiops
+    # Queue depth matters: asynchronous I/O unlocks the flash parallelism.
+    for name in ("cssd", "essd", "xlfdd"):
+        assert by_name[name].qd128_kiops > 10 * by_name[name].qd1_kiops

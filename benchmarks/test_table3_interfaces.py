@@ -1,0 +1,16 @@
+"""Table 3: storage interface CPU overheads."""
+
+from repro.experiments import table3_interfaces
+
+
+def test_table3(benchmark):
+    rows = benchmark.pedantic(table3_interfaces.run, rounds=1, iterations=1)
+    print("\n" + table3_interfaces.format_table(rows))
+
+    by_name = {r.interface: r for r in rows}
+    assert by_name["io_uring"].cpu_ns_per_io == 1_000
+    assert by_name["spdk"].cpu_ns_per_io == 350
+    assert by_name["xlfdd"].cpu_ns_per_io == 50
+    # Max IOPS/core is the reciprocal of the overhead.
+    for row in rows:
+        assert abs(row.max_miops_per_core - 1e3 / row.cpu_ns_per_io) < 1e-6

@@ -1,0 +1,16 @@
+"""Table 4: average number of hash bucket reads per query."""
+
+from repro.experiments import table4_io_counts
+
+
+def test_table4(scale, benchmark):
+    rows = benchmark.pedantic(table4_io_counts.run, args=(scale,), rounds=1, iterations=1)
+    print("\n" + table4_io_counts.format_table(rows))
+
+    for row in rows:
+        # The searched radii average below the ladder length (the search
+        # usually ends before exhausting all radii, Sec. 4.3).
+        assert 1.0 <= row.avg_radii <= row.total_radii
+        # N_io,inf is bounded by two I/Os per (radius, table) probe and
+        # is positive (the query actually reads buckets).
+        assert 0.0 < row.n_io_inf <= 2.0 * row.L * row.avg_radii + 1e-9

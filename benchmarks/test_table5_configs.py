@@ -1,0 +1,23 @@
+"""Table 5: storage device configurations."""
+
+from repro.experiments import table5_configs
+from repro.storage.profiles import DEVICE_PROFILES
+
+
+def test_table5(benchmark):
+    rows = benchmark.pedantic(table5_configs.run, rounds=1, iterations=1)
+    print("\n" + table5_configs.format_table(rows))
+
+    for row in rows:
+        profile = DEVICE_PROFILES[row.device]
+        assert row.total_max_iops == profile.max_iops * row.count
+        assert row.total_capacity_bytes == profile.capacity_bytes * row.count
+    by_name = {r.name: r for r in rows}
+    # The paper's ordering of aggregate random-read performance.
+    assert (
+        by_name["cssd_x1"].total_max_iops
+        < by_name["cssd_x4"].total_max_iops
+        < by_name["essd_x1"].total_max_iops
+        < by_name["essd_x8"].total_max_iops
+        < by_name["xlfdd_x12"].total_max_iops
+    )

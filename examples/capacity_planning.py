@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Capacity planning with the Sec. 4 analysis framework.
+
+Before buying hardware, answer "what storage do I need for E2LSHoS to
+hit a target query time on my workload?" — without any storage at all.
+The recipe is the paper's: run *in-memory* E2LSH on a sample, count the
+I/Os an external-memory execution would have issued, and solve Eqs.
+10-11 for the required IOPS and per-request CPU budget.  Then check
+which devices/interfaces from Tables 2-3 qualify.
+
+Run:  python examples/capacity_planning.py
+"""
+
+import numpy as np
+
+from repro.analysis.cost_model import required_iops, required_request_rate
+from repro.analysis.machine_model import DEFAULT_MACHINE
+from repro.analysis.requirements import average_n_io
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.params import E2LSHParams
+from repro.datasets.registry import load_dataset
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
+from repro.utils.units import format_iops, format_time
+
+
+def main() -> None:
+    # The workload sample: an MSONG-like audio-feature corpus.
+    dataset = load_dataset("msong", n=10_000, n_queries=30, seed=4)
+    params = E2LSHParams(n=dataset.n, rho=0.28, gamma=0.5, s_factor=32)
+    index = E2LSHIndex(dataset.data, params, seed=4)
+    answers = index.query_batch(dataset.queries, k=10)
+    stats = [answer.stats for answer in answers]
+
+    compute_ns = float(np.mean([DEFAULT_MACHINE.compute_ns(a.stats.ops) for a in answers]))
+    print(f"workload: {dataset}, {params.describe()}")
+    print(f"measured compute per query: {format_time(compute_ns)}")
+
+    for block_size in (128, 512, 4096):
+        n_io = average_n_io(stats, block_size)
+        print(f"I/Os per query at B={block_size}: {n_io:.1f}")
+
+    n_io = average_n_io(stats, 512)
+    print()
+    print(f"{'target/query':>14s}  {'required IOPS':>15s}  {'req. rate/core':>15s}  qualifying storage")
+    for target_ms in (2.0, 0.5, 0.1, 0.05):
+        target_ns = target_ms * 1e6
+        iops = required_iops(n_io, target_ns)
+        rate = required_request_rate(n_io, target_ns, compute_ns)
+        devices = [
+            name
+            for name, profile in DEVICE_PROFILES.items()
+            if profile.max_iops >= iops
+        ]
+        interfaces = [
+            name
+            for name, profile in INTERFACE_PROFILES.items()
+            if not profile.synchronous and profile.max_iops_per_core >= rate
+        ]
+        rate_text = "impossible" if rate == float("inf") else format_iops(rate)
+        qualifier = (
+            f"devices: {','.join(devices) or 'none'}; "
+            f"interfaces: {','.join(interfaces) or 'none'}"
+        )
+        print(f"{target_ms:>12.2f}ms  {format_iops(iops):>15s}  {rate_text:>15s}  {qualifier}")
+
+    print(
+        "\nreading the table: a few hundred kIOPS (one consumer SSD) buys"
+        "\nmillisecond-class queries; MIOPS-class devices with a sub-100ns"
+        "\ninterface approach in-memory speed — the paper's Observations 3-4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Storage shootout: one workload, every device/interface combination.
+
+Reproduces the Sec. 6.1 story on a GLOVE-like workload: the same tuned
+E2LSHoS index is executed over each Table 5 storage configuration and
+each Table 3 interface, next to in-memory E2LSH and the synchronous
+memory-mapped baseline of Sec. 6.5.  Watch the ordering emerge:
+
+    mmap-sync  <<  cSSD x1  <  io_uring-capped  <  SPDK  <=  in-memory  <=  XLFDD
+
+Run:  python examples/storage_shootout.py
+"""
+
+import numpy as np
+
+from repro.analysis.machine_model import DEFAULT_MACHINE
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.e2lshos import E2LSHoSIndex
+from repro.core.params import E2LSHParams
+from repro.core.radii import RadiusLadder
+from repro.datasets.registry import load_dataset
+from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine
+from repro.storage.page_cache import PageCache
+from repro.storage.profiles import INTERFACE_PROFILES, make_volume
+from repro.utils.units import format_time
+
+CONFIGS = [
+    ("cSSD x1 / io_uring", "cssd", 1, "io_uring"),
+    ("cSSD x4 / io_uring", "cssd", 4, "io_uring"),
+    ("cSSD x4 / SPDK", "cssd", 4, "spdk"),
+    ("eSSD x1 / SPDK", "essd", 1, "spdk"),
+    ("eSSD x8 / SPDK", "essd", 8, "spdk"),
+    ("XLFDD x12 / XLFDD if", "xlfdd", 12, "xlfdd"),
+]
+
+
+def main() -> None:
+    dataset = load_dataset("glove", n=10_000, n_queries=20, seed=2)
+    params = E2LSHParams(n=dataset.n, rho=0.4, gamma=0.6, s_factor=16)
+    ladder = RadiusLadder.for_data(dataset.data, params.c)
+
+    inmem = E2LSHIndex(dataset.data, params, ladder=ladder, seed=2)
+    store = MemoryBlockStore()
+    index = E2LSHoSIndex.build(
+        dataset.data, params, store=store, ladder=ladder, seed=2, bank=inmem.bank
+    )
+    # Deep query stream so the device queues stay full (Sec. 5.4).
+    queries = np.tile(dataset.queries, (8, 1))
+
+    print(f"{dataset}, {params.describe()}\n")
+    print(f"{'configuration':24s}  {'mean/query':>12s}  {'q/s':>10s}  {'obs. kIOPS':>10s}")
+
+    # In-memory E2LSH reference (footprint stall included, Sec. 4.5).
+    answers = inmem.query_batch(dataset.queries, k=1)
+    inmem_ns = float(
+        np.mean([DEFAULT_MACHINE.inmemory_e2lsh_ns(a.stats.ops) for a in answers])
+    )
+    print(f"{'in-memory E2LSH':24s}  {format_time(inmem_ns):>12s}")
+
+    # Synchronous memory-mapped baseline (Sec. 6.5).
+    cache = PageCache(
+        volume=make_volume("cssd", 4),
+        store=store,
+        interface=INTERFACE_PROFILES["mmap_sync"],
+        capacity_bytes=index.dram_bytes,
+    )
+    _, sync_ns = index.run_mmap_sync(dataset.queries, cache, k=1)
+    per_query = sync_ns / dataset.n_queries
+    print(
+        f"{'mmap sync (page cache)':24s}  {format_time(per_query):>12s}"
+        f"  {'':>10s}  miss rate {cache.stats.miss_rate:.0%}"
+    )
+
+    for label, device, count, interface in CONFIGS:
+        engine = AsyncIOEngine(
+            make_volume(device, count), INTERFACE_PROFILES[interface], store
+        )
+        result = index.run(queries, engine, k=1)
+        print(
+            f"{label:24s}  {format_time(result.mean_query_time_ns):>12s}"
+            f"  {result.queries_per_second:>10,.0f}"
+            f"  {result.engine.observed_iops / 1e3:>10.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

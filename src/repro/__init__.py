@@ -1,0 +1,15 @@
+"""Reproduction of "Implementing and Evaluating E2LSH on Storage" (EDBT 2023).
+
+The package rebuilds the paper's full system: the E2LSH algorithm and
+its external-memory adaptation (E2LSHoS), the byte-accurate on-storage
+index layout, a discrete-event model of the paper's storage devices and
+I/O interfaces, the small-index competitors (SRS, QALSH) with their
+index substrates, and the Sec. 4 cost-analysis framework.
+
+Start with :mod:`repro.core` (the algorithms), :mod:`repro.storage`
+(the simulated substrate), and ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""The paper's Sec. 4 analysis framework.
+
+- :mod:`repro.analysis.machine_model` converts operation counts into
+  nanoseconds (the substitute for the paper's Xeon + AVX-512 testbed),
+- :mod:`repro.analysis.cost_model` implements the query-time models of
+  Eqs. 6-7 (synchronous / asynchronous E2LSHoS),
+- :mod:`repro.analysis.requirements` derives the storage performance
+  requirements of Eqs. 8-16 (the curves of Figures 4-8).
+"""
+
+from repro.analysis.machine_model import MachineModel
+from repro.analysis.cost_model import (
+    async_query_time_ns,
+    required_iops,
+    required_request_rate,
+    sync_query_time_ns,
+)
+from repro.analysis.requirements import RequirementCurve, RequirementPoint, requirement_curve
+
+__all__ = [
+    "MachineModel",
+    "sync_query_time_ns",
+    "async_query_time_ns",
+    "required_iops",
+    "required_request_rate",
+    "RequirementCurve",
+    "RequirementPoint",
+    "requirement_curve",
+]

@@ -1,0 +1,84 @@
+"""Query-time models and storage requirements (paper Eqs. 6-16).
+
+Synchronous external memory execution (Figure 1(A), Eq. 6)::
+
+    T_sync = T_compute + N_io * (T_request + T_read)
+
+Asynchronous execution (Figure 1(B), Eq. 7)::
+
+    T_async = max(T_compute + N_io * T_request,  N_io * T_read)
+
+Solving ``T <= T_target`` for the storage-side unknowns yields the
+requirements the paper plots in Figures 4-8:
+
+- Eq. 9  (sync):   1/T_read   >= N_io / (T_target - T_compute)
+- Eq. 10 (async):  1/T_request >= N_io / (T_target - T_compute)
+- Eq. 11 (async):  1/T_read   >= N_io / T_target
+
+All times are nanoseconds; rates are converted to IOPS (per second).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.units import NS_PER_S
+
+__all__ = [
+    "sync_query_time_ns",
+    "async_query_time_ns",
+    "required_iops",
+    "required_request_rate",
+    "required_sync_iops",
+]
+
+
+def sync_query_time_ns(
+    compute_ns: float, n_io: float, request_ns: float, read_ns: float
+) -> float:
+    """Eq. 6: synchronous query time."""
+    _check(compute_ns, n_io, request_ns, read_ns)
+    return compute_ns + n_io * (request_ns + read_ns)
+
+
+def async_query_time_ns(
+    compute_ns: float, n_io: float, request_ns: float, read_ns: float
+) -> float:
+    """Eq. 7: asynchronous query time (CPU and storage fully overlapped)."""
+    _check(compute_ns, n_io, request_ns, read_ns)
+    return max(compute_ns + n_io * request_ns, n_io * read_ns)
+
+
+def required_iops(n_io: float, target_ns: float) -> float:
+    """Eq. 11: random-read IOPS needed to finish N_io reads in T_target."""
+    if n_io < 0:
+        raise ValueError(f"n_io must be non-negative, got {n_io}")
+    if target_ns <= 0:
+        raise ValueError(f"target_ns must be positive, got {target_ns}")
+    return n_io * NS_PER_S / target_ns
+
+
+def required_request_rate(n_io: float, target_ns: float, compute_ns: float) -> float:
+    """Eq. 10: request rate (1/T_request) one core must sustain.
+
+    Returns ``inf`` when the compute time alone exceeds the target —
+    no interface is fast enough in that regime.
+    """
+    if n_io < 0 or compute_ns < 0:
+        raise ValueError("n_io and compute_ns must be non-negative")
+    if target_ns <= 0:
+        raise ValueError(f"target_ns must be positive, got {target_ns}")
+    headroom = target_ns - compute_ns
+    if headroom <= 0:
+        return math.inf
+    return n_io * NS_PER_S / headroom
+
+
+def required_sync_iops(n_io: float, target_ns: float, compute_ns: float) -> float:
+    """Eq. 9: IOPS requirement for the *synchronous* adaptation."""
+    return required_request_rate(n_io, target_ns, compute_ns)
+
+
+def _check(compute_ns: float, n_io: float, request_ns: float, read_ns: float) -> None:
+    if compute_ns < 0 or n_io < 0 or request_ns < 0 or read_ns < 0:
+        raise ValueError("cost-model inputs must be non-negative")

@@ -1,0 +1,70 @@
+"""Calibrated operation costs (substitute for the paper's testbed).
+
+The paper measures query times on two Xeon Gold 5218 CPUs (2.3 GHz) with
+AVX-512-accelerated hash and distance kernels.  We cannot reproduce
+those wall-clock numbers in Python, so each primitive operation is
+assigned a nanosecond cost consistent with that hardware class:
+
+- a scalar fused multiply-add inside an AVX-512 kernel retires at
+  ~0.03 ns/element in L1, but streaming high-dimensional vectors from
+  DRAM makes the *effective* cost ~0.2 ns/element — this matches the
+  paper's in-memory E2LSH query times (sub-millisecond for SIFT-class
+  workloads, Figure 12),
+- a dependent random DRAM access (hash-table probe, candidate fetch,
+  tree-node hop) costs on the order of one memory latency (~80-150 ns),
+- in-memory E2LSH suffers an extra ~11% stall because its working set
+  includes the giant hash index; the paper measures this as "the runtime
+  decreases around 10%" when the footprint shrinks (Sec. 4.5), i.e.
+  ``T_compute = 0.9 * T_E2LSH`` (Eq. 16).
+
+The *conclusions* reproduced downstream depend on cost ratios spanning
+orders of magnitude (Figure 2), so modest calibration error does not
+change who wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.stats import OpCounts
+
+__all__ = ["MachineModel", "DEFAULT_MACHINE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Nanosecond costs of the primitive operations in :class:`OpCounts`."""
+
+    ns_per_projection_op: float = 0.2
+    ns_per_distance_op: float = 0.2
+    ns_per_candidate_fetch: float = 80.0
+    ns_per_bucket_lookup: float = 120.0
+    ns_per_tree_node: float = 150.0
+    ns_per_btree_entry: float = 18.0
+    ns_per_heap_op: float = 40.0
+    ns_per_round: float = 200.0
+    #: Multiplier on E2LSH compute when the full index lives in DRAM
+    #: (Sec. 4.5: the large footprint adds ~10% memory-stall time, so
+    #: in-memory time = compute / 0.9).
+    inmemory_footprint_factor: float = 1.0 / 0.9
+
+    def compute_ns(self, ops: OpCounts) -> float:
+        """Pure compute time for an operation mix (no footprint stall)."""
+        return (
+            ops.projection_scalar_ops * self.ns_per_projection_op
+            + ops.distance_scalar_ops * self.ns_per_distance_op
+            + ops.candidate_fetches * self.ns_per_candidate_fetch
+            + ops.bucket_lookups * self.ns_per_bucket_lookup
+            + ops.tree_node_visits * self.ns_per_tree_node
+            + ops.btree_entry_scans * self.ns_per_btree_entry
+            + ops.heap_ops * self.ns_per_heap_op
+            + ops.rounds * self.ns_per_round
+        )
+
+    def inmemory_e2lsh_ns(self, ops: OpCounts) -> float:
+        """Query time of *in-memory* E2LSH, including the footprint stall."""
+        return self.compute_ns(ops) * self.inmemory_footprint_factor
+
+
+#: The single machine instance used throughout the benchmarks.
+DEFAULT_MACHINE = MachineModel()

@@ -1,0 +1,123 @@
+"""Storage requirement curves (paper Sec. 4.3-4.5, Figures 3-8).
+
+The paper derives these curves by *running in-memory E2LSH* and counting
+what an external-memory execution would have had to read: for every
+non-empty bucket probed, one hash-table I/O plus ``ceil(examined /
+entries_per_block)`` bucket-block I/Os.  The helpers here turn the
+per-query :class:`~repro.core.query_stats.QueryStats` records into
+average I/O counts for any block size, then into the IOPS /
+request-rate requirements of Eqs. 9-16.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import required_iops, required_request_rate
+from repro.stats import QueryStats
+from repro.layout.bucket import entries_per_block
+
+__all__ = [
+    "average_n_io",
+    "RequirementPoint",
+    "RequirementCurve",
+    "requirement_curve",
+    "inmemory_cpu_requirement_scale",
+]
+
+#: Sec. 4.5: in-memory E2LSH spends ~10% of its time on footprint stalls,
+#: so T_compute = 0.9 * T_E2LSH and Eq. 16 scales the request-rate
+#: requirement by 1 / (1 - 0.9) = 10.
+INMEMORY_COMPUTE_FRACTION = 0.9
+
+
+def average_n_io(stats: Iterable[QueryStats], block_size: int | None = 512) -> float:
+    """Average I/Os per query for a given read block size.
+
+    ``block_size=None`` reproduces the paper's ``N_io,inf`` (every bucket
+    fits one block): one table read + one bucket read per non-empty
+    bucket.  Finite block sizes add ``ceil(examined / capacity)`` block
+    reads per bucket, following chains only as far as the candidate
+    budget required (Sec. 4.3, Figure 3).
+    """
+    total = 0.0
+    count = 0
+    capacity = None if block_size is None else entries_per_block(block_size)
+    for record in stats:
+        count += 1
+        total += record.nonempty_buckets  # one hash-table I/O per probe
+        if capacity is None:
+            total += record.nonempty_buckets
+        else:
+            for examined in record.bucket_sizes_examined:
+                total += max(1, math.ceil(examined / capacity))
+    if count == 0:
+        raise ValueError("no query stats supplied")
+    return total / count
+
+
+def inmemory_cpu_requirement_scale() -> float:
+    """Eq. 16's factor 10: 1 / (1 - T_compute / T_E2LSH)."""
+    return 1.0 / (1.0 - INMEMORY_COMPUTE_FRACTION)
+
+
+@dataclass(frozen=True)
+class RequirementPoint:
+    """Storage requirements at one accuracy level."""
+
+    overall_ratio: float
+    n_io: float
+    target_ns: float
+    compute_ns: float
+    #: Eq. 11 / 13 / 15: random-read IOPS the device must deliver.
+    read_iops: float
+    #: Eq. 10 / 12 / 14: request rate (1/T_request) the CPU must sustain.
+    request_rate: float
+
+
+@dataclass(frozen=True)
+class RequirementCurve:
+    """One curve of Figures 4-8: requirements across accuracy levels."""
+
+    label: str
+    points: tuple[RequirementPoint, ...]
+
+    def max_read_iops(self) -> float:
+        """Worst-case (largest) IOPS requirement along the curve."""
+        return max(point.read_iops for point in self.points)
+
+    def max_request_rate(self) -> float:
+        """Worst-case request-rate requirement along the curve."""
+        return max(point.request_rate for point in self.points)
+
+
+def requirement_curve(
+    label: str,
+    ratios: Sequence[float],
+    n_ios: Sequence[float],
+    target_ns: Sequence[float],
+    compute_ns: Sequence[float],
+) -> RequirementCurve:
+    """Assemble a requirement curve from per-accuracy measurements.
+
+    ``target_ns`` is the query time to match (T_SRS for Figures 4-6,
+    T_E2LSH for Figures 7-8); ``compute_ns`` is E2LSHoS's own compute
+    time at that accuracy.
+    """
+    lengths = {len(ratios), len(n_ios), len(target_ns), len(compute_ns)}
+    if len(lengths) != 1:
+        raise ValueError("all input sequences must have equal length")
+    points = tuple(
+        RequirementPoint(
+            overall_ratio=float(ratio),
+            n_io=float(n_io),
+            target_ns=float(target),
+            compute_ns=float(compute),
+            read_iops=required_iops(n_io, target),
+            request_rate=required_request_rate(n_io, target, compute),
+        )
+        for ratio, n_io, target, compute in zip(ratios, n_ios, target_ns, compute_ns)
+    )
+    return RequirementCurve(label=label, points=points)

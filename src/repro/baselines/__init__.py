@@ -1,0 +1,20 @@
+"""Competing methods, implemented from scratch (paper Sec. 3.1).
+
+- :mod:`repro.baselines.linear_scan` — exact brute force,
+- :mod:`repro.baselines.bptree` — B+ tree (QALSH's index substrate),
+- :mod:`repro.baselines.rtree` — packed R-tree with best-first
+  incremental NN (SRS's index substrate),
+- :mod:`repro.baselines.srs` — SRS (Sun et al., VLDB 2014),
+- :mod:`repro.baselines.qalsh` — QALSH (Huang et al., VLDB 2015).
+
+SRS and QALSH are the small-index state of the art the paper benchmarks
+E2LSHoS against; both run fully in memory here, as in the paper.
+"""
+
+from repro.baselines.linear_scan import LinearScanIndex
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.rtree import RTree
+from repro.baselines.srs import SRSIndex
+from repro.baselines.qalsh import QALSHIndex
+
+__all__ = ["LinearScanIndex", "BPlusTree", "RTree", "SRSIndex", "QALSHIndex"]

@@ -1,0 +1,174 @@
+"""Bulk-loaded B+ tree over (float key, int value) pairs.
+
+This is QALSH's index substrate: one tree per hash function, keyed by
+the projection ``a_i . o`` with the object ID as value.  The tree
+supports the two access patterns QALSH needs:
+
+- :meth:`locate`: descend to the first entry with key >= x (counting
+  node visits), and
+- :meth:`window`: gather all entries with keys in [lo, hi) by walking
+  linked leaves from a located position (counting leaf visits and
+  entries scanned).
+
+Leaves store their keys/values as NumPy arrays so window gathering is
+vectorized per leaf while the structure remains a genuine paged tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BPlusTree", "TraversalCounters"]
+
+
+@dataclass
+class TraversalCounters:
+    """Operation counters for one traversal."""
+
+    node_visits: int = 0
+    leaf_visits: int = 0
+    entries_scanned: int = 0
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev")
+
+    def __init__(self, keys: np.ndarray, values: np.ndarray) -> None:
+        self.keys = keys
+        self.values = values
+        self.next: _Leaf | None = None
+        self.prev: _Leaf | None = None
+
+
+class _Internal:
+    __slots__ = ("separators", "children")
+
+    def __init__(self, separators: np.ndarray, children: list) -> None:
+        # separators[i] = smallest key in children[i + 1].
+        self.separators = separators
+        self.children = children
+
+
+class BPlusTree:
+    """Immutable bulk-loaded B+ tree."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        values: np.ndarray,
+        leaf_capacity: int = 64,
+        fanout: int = 16,
+    ) -> None:
+        keys = np.asarray(keys, dtype=np.float64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.ndim != 1 or keys.shape != values.shape:
+            raise ValueError("keys and values must be equal-length 1-D arrays")
+        if keys.size == 0:
+            raise ValueError("cannot build an empty tree")
+        if leaf_capacity < 2 or fanout < 2:
+            raise ValueError("leaf_capacity and fanout must be >= 2")
+        order = np.argsort(keys, kind="stable")
+        keys = keys[order]
+        values = values[order]
+
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.n_entries = int(keys.size)
+
+        leaves = [
+            _Leaf(keys[i : i + leaf_capacity], values[i : i + leaf_capacity])
+            for i in range(0, keys.size, leaf_capacity)
+        ]
+        for left, right in zip(leaves, leaves[1:]):
+            left.next = right
+            right.prev = left
+        self.leaves = leaves
+        self.height = 1
+
+        level: list = leaves
+        level_min_keys = [float(leaf.keys[0]) for leaf in leaves]
+        while len(level) > 1:
+            parents = []
+            parent_mins = []
+            for i in range(0, len(level), fanout):
+                children = level[i : i + fanout]
+                mins = level_min_keys[i : i + fanout]
+                parents.append(_Internal(np.array(mins[1:], dtype=np.float64), children))
+                parent_mins.append(mins[0])
+            level = parents
+            level_min_keys = parent_mins
+            self.height += 1
+        self.root = level[0]
+
+    # -- lookups -------------------------------------------------------------
+
+    def locate(self, key: float, counters: TraversalCounters | None = None) -> tuple[_Leaf, int]:
+        """Leaf and in-leaf index of the first entry with key >= ``key``.
+
+        If every key is smaller, returns the last leaf with an index one
+        past its end.
+        """
+        counters = counters if counters is not None else TraversalCounters()
+        node = self.root
+        while isinstance(node, _Internal):
+            counters.node_visits += 1
+            # side="left": when key equals a separator, duplicates of the
+            # key may extend into the child *before* the separator, and
+            # "first entry >= key" must find them.
+            child = int(np.searchsorted(node.separators, key, side="left"))
+            node = node.children[child]
+        counters.node_visits += 1
+        counters.leaf_visits += 1
+        index = int(np.searchsorted(node.keys, key, side="left"))
+        if index == node.keys.size and node.next is not None:
+            # Key falls in a gap between leaves: normalize to the next leaf.
+            return node.next, 0
+        return node, index
+
+    def window(
+        self,
+        lo: float,
+        hi: float,
+        counters: TraversalCounters | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """All (keys, values) with ``lo <= key < hi`` in ascending order."""
+        if hi < lo:
+            raise ValueError(f"empty window: hi={hi} < lo={lo}")
+        counters = counters if counters is not None else TraversalCounters()
+        leaf, index = self.locate(lo, counters)
+        keys_out: list[np.ndarray] = []
+        values_out: list[np.ndarray] = []
+        while leaf is not None:
+            if index > 0:
+                keys = leaf.keys[index:]
+                values = leaf.values[index:]
+            else:
+                keys, values = leaf.keys, leaf.values
+            if keys.size == 0:
+                break
+            counters.leaf_visits += 1
+            stop = int(np.searchsorted(keys, hi, side="left"))
+            counters.entries_scanned += stop
+            if stop > 0:
+                keys_out.append(keys[:stop])
+                values_out.append(values[:stop])
+            if stop < keys.size:
+                break
+            leaf = leaf.next
+            index = 0
+        if not keys_out:
+            return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64)
+        return np.concatenate(keys_out), np.concatenate(values_out)
+
+    def min_key(self) -> float:
+        """Smallest key in the tree."""
+        return float(self.leaves[0].keys[0])
+
+    def max_key(self) -> float:
+        """Largest key in the tree."""
+        return float(self.leaves[-1].keys[-1])
+
+    def __len__(self) -> int:
+        return self.n_entries

@@ -1,0 +1,162 @@
+"""Packed R-tree over low-dimensional points with incremental NN.
+
+This is SRS's index substrate: the projected (m ~ 6-8 dimensional)
+points are bulk-loaded into an R-tree and queried with the classic
+best-first *incremental* nearest-neighbor algorithm (Hjaltason &
+Samet): a priority queue holds nodes keyed by the minimum distance of
+their bounding rectangle and points keyed by their exact distance;
+popping yields points in strictly non-decreasing distance order.
+
+Bulk loading uses Sort-Tile-Recursive (STR): points are recursively
+sorted and sliced along successive dimensions until slices fit a leaf.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RTree", "NNCounters"]
+
+
+@dataclass
+class NNCounters:
+    """Operation counters for one incremental-NN traversal."""
+
+    node_visits: int = 0
+    heap_ops: int = 0
+    points_returned: int = 0
+
+
+class _Node:
+    __slots__ = ("lower", "upper", "children", "point_ids")
+
+    def __init__(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        children: list["_Node"] | None,
+        point_ids: np.ndarray | None,
+    ) -> None:
+        self.lower = lower
+        self.upper = upper
+        self.children = children
+        self.point_ids = point_ids
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.point_ids is not None
+
+    def min_dist_sq(self, query: np.ndarray) -> float:
+        """Squared distance from ``query`` to the bounding rectangle."""
+        delta = np.maximum(self.lower - query, 0.0) + np.maximum(query - self.upper, 0.0)
+        return float((delta**2).sum())
+
+
+class RTree:
+    """STR bulk-loaded R-tree with best-first incremental NN."""
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        leaf_capacity: int = 32,
+        fanout: int = 8,
+    ) -> None:
+        points = np.ascontiguousarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError(f"points must be a non-empty (n, m) array, got {points.shape}")
+        if leaf_capacity < 1 or fanout < 2:
+            raise ValueError("leaf_capacity must be >= 1 and fanout >= 2")
+        self.points = points
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.root = self._build(np.arange(points.shape[0], dtype=np.int64), depth=0)
+        self.n_nodes = self._count_nodes(self.root)
+
+    # -- construction ----------------------------------------------------------
+
+    def _build(self, ids: np.ndarray, depth: int) -> _Node:
+        subset = self.points[ids]
+        lower = subset.min(axis=0)
+        upper = subset.max(axis=0)
+        if ids.size <= self.leaf_capacity:
+            return _Node(lower, upper, children=None, point_ids=ids)
+        # STR slice: sort along the cycling dimension, cut into fanout slabs.
+        dim = depth % self.points.shape[1]
+        order = ids[np.argsort(subset[:, dim], kind="stable")]
+        n_slabs = min(self.fanout, math.ceil(ids.size / self.leaf_capacity))
+        slab_size = math.ceil(ids.size / n_slabs)
+        children = [
+            self._build(order[i : i + slab_size], depth + 1)
+            for i in range(0, ids.size, slab_size)
+        ]
+        return _Node(lower, upper, children=children, point_ids=None)
+
+    def _count_nodes(self, node: _Node) -> int:
+        if node.is_leaf:
+            return 1
+        return 1 + sum(self._count_nodes(child) for child in node.children)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Approximate DRAM footprint (points + node rectangles)."""
+        per_node = 2 * self.points.shape[1] * 8 + 64
+        return self.points.nbytes + self.n_nodes * per_node
+
+    # -- incremental NN ----------------------------------------------------------
+
+    def incremental_nn(
+        self,
+        query: np.ndarray,
+        counters: NNCounters | None = None,
+    ) -> Iterator[tuple[float, int]]:
+        """Yield ``(distance, point_id)`` in non-decreasing distance order."""
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        if query.size != self.points.shape[1]:
+            raise ValueError(
+                f"query has m={query.size}, tree expects {self.points.shape[1]}"
+            )
+        counters = counters if counters is not None else NNCounters()
+        # Heap entries: (squared distance, tiebreak, is_point, payload).
+        counter = 0
+        heap: list[tuple[float, int, bool, object]] = [
+            (self.root.min_dist_sq(query), counter, False, self.root)
+        ]
+        counters.heap_ops += 1
+        while heap:
+            dist_sq, _, is_point, payload = heapq.heappop(heap)
+            counters.heap_ops += 1
+            if is_point:
+                counters.points_returned += 1
+                yield math.sqrt(dist_sq), int(payload)  # type: ignore[arg-type]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            counters.node_visits += 1
+            if node.is_leaf:
+                ids = node.point_ids
+                deltas = self.points[ids] - query
+                dists = np.einsum("nm,nm->n", deltas, deltas)
+                for point_dist, point_id in zip(dists.tolist(), ids.tolist()):
+                    counter += 1
+                    heapq.heappush(heap, (point_dist, counter, True, point_id))
+                    counters.heap_ops += 1
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(heap, (child.min_dist_sq(query), counter, False, child))
+                    counters.heap_ops += 1
+
+    def knn(self, query: np.ndarray, k: int) -> list[tuple[float, int]]:
+        """Exact k nearest points in the projected space (testing helper)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        result = []
+        for dist, point_id in self.incremental_nn(query):
+            result.append((dist, point_id))
+            if len(result) == k:
+                break
+        return result

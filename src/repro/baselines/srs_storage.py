@@ -1,0 +1,164 @@
+"""External-memory SRS sketch (paper's concluding suggestion).
+
+The conclusion notes that small-index methods could also benefit from
+modern storage on memory-limited machines: "external-memory SRS and
+QALSH may issue requests for adjacent tree nodes while processing the
+current node".  This module demonstrates that idea: the SRS R-tree's
+nodes are serialized to the block store (one 512-byte record per node),
+and the incremental-NN walk runs as an engine task that *prefetches*
+the next-best frontier nodes in asynchronous batches instead of reading
+one node per blocking I/O.
+
+It is deliberately a sketch — enough to measure the sync-vs-async gap
+for a tree workload (the ablation benchmark) — not a production index.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.rtree import RTree, _Node
+from repro.baselines.srs import SRSIndex
+from repro.storage.blockstore import BlockStore
+from repro.storage.engine import Compute, ReadBatch, Task
+
+__all__ = ["StorageSRS"]
+
+_NODE_RECORD = 512
+#: node record: u8 is_leaf, u8 n_entries, 6 pad, then entries:
+#:   leaf: n x u64 point ids;  internal: n x u64 child addresses.
+_HEADER = struct.Struct("<BB6x")
+#: Cost of scoring one frontier entry (heap + rectangle distance).
+_VISIT_NS = 150.0
+
+
+@dataclass
+class _NodeRecord:
+    is_leaf: bool
+    entries: np.ndarray  # point ids or child addresses
+    lower: np.ndarray
+    upper: np.ndarray
+
+
+class StorageSRS:
+    """SRS with its R-tree nodes resident on (simulated) storage."""
+
+    def __init__(self, srs: SRSIndex, store: BlockStore, prefetch: int = 8) -> None:
+        if prefetch < 1:
+            raise ValueError(f"prefetch must be >= 1, got {prefetch}")
+        self.srs = srs
+        self.store = store
+        self.prefetch = prefetch
+        #: DRAM-resident per-node rectangles (small), keyed by address.
+        self._rects: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self.root_address = self._persist(srs.tree.root)
+
+    def _persist(self, node: _Node) -> int:
+        if node.is_leaf:
+            entries = node.point_ids.astype(np.uint64)
+        else:
+            entries = np.array(
+                [self._persist(child) for child in node.children], dtype=np.uint64
+            )
+        if 16 + entries.size * 8 > _NODE_RECORD:
+            raise ValueError(
+                f"node with {entries.size} entries exceeds the {_NODE_RECORD}-byte record"
+            )
+        address = self.store.allocate(_NODE_RECORD)
+        record = _HEADER.pack(1 if node.is_leaf else 0, entries.size)
+        record += entries.astype("<u8").tobytes()
+        record += b"\x00" * (_NODE_RECORD - len(record))
+        self.store.write(address, record)
+        self._rects[address] = (node.lower, node.upper)
+        return address
+
+    def _decode(self, raw: bytes, address: int) -> _NodeRecord:
+        is_leaf, count = _HEADER.unpack_from(raw)
+        entries = np.frombuffer(raw, dtype="<u8", count=count, offset=8).astype(np.uint64)
+        lower, upper = self._rects[address]
+        return _NodeRecord(is_leaf=bool(is_leaf), entries=entries, lower=lower, upper=upper)
+
+    def query_task(self, query: np.ndarray, k: int, t_prime: int) -> Task:
+        """Engine task: asynchronous best-first NN over on-storage nodes."""
+        return self._run(np.asarray(query, dtype=np.float64).reshape(-1), k, t_prime, True)
+
+    def query_task_sync_order(self, query: np.ndarray, k: int, t_prime: int) -> Task:
+        """Same walk, but one node read per batch (no prefetching)."""
+        return self._run(np.asarray(query, dtype=np.float64).reshape(-1), k, t_prime, False)
+
+    def _run(self, query: np.ndarray, k: int, t_prime: int, prefetch: bool) -> Task:
+        if k < 1 or t_prime < k:
+            raise ValueError("need k >= 1 and t_prime >= k")
+        srs = self.srs
+        projected_query = query @ srs.projection
+        points = srs.projected
+
+        def min_dist_sq(address: int) -> float:
+            lower, upper = self._rects[address]
+            delta = np.maximum(lower - projected_query, 0.0) + np.maximum(
+                projected_query - upper, 0.0
+            )
+            return float((delta**2).sum())
+
+        counter = 0
+        # Frontier of (score, tiebreak, is_point, payload).
+        frontier: list[tuple[float, int, bool, int]] = [
+            (min_dist_sq(self.root_address), counter, False, self.root_address)
+        ]
+        best: list[tuple[float, int]] = []
+        examined = 0
+        while frontier and examined < t_prime:
+            # Pop points cheaply; gather the next node addresses to read.
+            to_read: list[int] = []
+            width = self.prefetch if prefetch else 1
+            while frontier and len(to_read) < width:
+                score, _, is_point, payload = heapq.heappop(frontier)
+                if is_point:
+                    true_dist = float(
+                        np.linalg.norm(
+                            srs.data[payload].astype(np.float64) - query
+                        )
+                    )
+                    heapq.heappush(best, (-true_dist, payload))
+                    if len(best) > k:
+                        heapq.heappop(best)
+                    examined += 1
+                    if examined >= t_prime:
+                        break
+                else:
+                    to_read.append(payload)
+            if not to_read:
+                continue
+            yield Compute(_VISIT_NS * len(to_read))
+            raw_nodes = yield ReadBatch([(address, _NODE_RECORD) for address in to_read])
+            for raw, address in zip(raw_nodes, to_read):
+                record = self._decode(raw, address)
+                if record.is_leaf:
+                    ids = record.entries.astype(np.int64)
+                    deltas = points[ids] - projected_query
+                    dists = np.einsum("nm,nm->n", deltas, deltas)
+                    for dist, point_id in zip(dists.tolist(), ids.tolist()):
+                        counter += 1
+                        heapq.heappush(frontier, (dist, counter, True, point_id))
+                else:
+                    for child in record.entries.tolist():
+                        counter += 1
+                        heapq.heappush(frontier, (min_dist_sq(child), counter, False, child))
+
+        ordered = sorted((-neg, obj) for neg, obj in best)
+        ids = np.array([obj for _, obj in ordered], dtype=np.int64)
+        dists = np.array([dist for dist, _ in ordered], dtype=np.float64)
+        return ids, dists
+
+
+def build_storage_srs(
+    data: np.ndarray, store: BlockStore, seed: int = 0, prefetch: int = 8
+) -> StorageSRS:
+    """Convenience constructor: SRS index + on-storage tree."""
+    srs = SRSIndex(data, seed=seed, leaf_capacity=32, fanout=8)
+    return StorageSRS(srs, store, prefetch=prefetch)

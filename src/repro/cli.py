@@ -1,0 +1,189 @@
+"""Command-line interface: build, persist, query, and analyze indices.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli info
+    python -m repro.cli build  --dataset sift --n 10000 --out /tmp/sift_idx
+    python -m repro.cli query  --dataset sift --n 10000 --index /tmp/sift_idx \
+                               --device cssd --count 1 --interface io_uring -k 10
+    python -m repro.cli analyze --dataset sift --n 10000 --target-ms 0.5
+
+``build``/``query`` regenerate the dataset deterministically from its
+name/size/seed, so the database vectors never need to be shipped next
+to the index (they are cheap to re-synthesize; a real deployment would
+store them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.cost_model import required_iops, required_request_rate
+from repro.analysis.machine_model import DEFAULT_MACHINE
+from repro.analysis.requirements import average_n_io
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.e2lshos import E2LSHoSIndex
+from repro.core.params import E2LSHParams
+from repro.datasets.registry import DATASET_NAMES, DATASET_SPECS, load_dataset
+from repro.eval.ground_truth import exact_knn
+from repro.eval.ratio import overall_ratio
+from repro.io.persistence import load_index, save_index
+from repro.storage.blockstore import FileBlockStore
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES, make_engine
+from repro.utils.units import format_bytes, format_iops, format_time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="E2LSH-on-Storage reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, devices, and interfaces")
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dataset", choices=DATASET_NAMES, required=True)
+        p.add_argument("--n", type=int, default=10_000, help="database size")
+        p.add_argument("--queries", type=int, default=20, help="query count")
+        p.add_argument("--seed", type=int, default=1)
+        p.add_argument("--rho", type=float, default=None, help="index exponent")
+        p.add_argument("--gamma", type=float, default=0.5, help="accuracy knob")
+        p.add_argument("--s-factor", type=float, default=32.0)
+
+    build = sub.add_parser("build", help="build and persist an on-storage index")
+    common(build)
+    build.add_argument("--out", required=True, help="output path prefix")
+
+    query = sub.add_parser("query", help="query a persisted index")
+    common(query)
+    query.add_argument("--index", required=True, help="path prefix from 'build'")
+    query.add_argument("-k", type=int, default=10)
+    query.add_argument("--device", choices=sorted(DEVICE_PROFILES), default="cssd")
+    query.add_argument("--count", type=int, default=1)
+    query.add_argument(
+        "--interface",
+        choices=[n for n, p in INTERFACE_PROFILES.items() if not p.synchronous],
+        default="io_uring",
+    )
+
+    analyze = sub.add_parser("analyze", help="Sec. 4 storage requirements")
+    common(analyze)
+    analyze.add_argument("--target-ms", type=float, default=0.5)
+    analyze.add_argument("-k", type=int, default=1)
+    return parser
+
+
+def _params(args: argparse.Namespace, n: int) -> E2LSHParams:
+    rho = args.rho if args.rho is not None else DATASET_SPECS[args.dataset].rho
+    return E2LSHParams(n=n, rho=rho, gamma=args.gamma, s_factor=args.s_factor)
+
+
+def _cmd_info(out) -> int:
+    out.write("datasets:\n")
+    for name, spec in DATASET_SPECS.items():
+        out.write(
+            f"  {name:7s} d={spec.paper_d:4d} ({spec.paper_type}), "
+            f"paper RC={spec.paper_rc}, LID={spec.paper_lid}\n"
+        )
+    out.write("devices:\n")
+    for name, profile in DEVICE_PROFILES.items():
+        out.write(
+            f"  {name:6s} {format_iops(profile.qd1_iops)} @QD1, "
+            f"{format_iops(profile.max_iops)} saturated, "
+            f"{format_bytes(profile.capacity_bytes)}\n"
+        )
+    out.write("interfaces:\n")
+    for name, interface in INTERFACE_PROFILES.items():
+        kind = "sync" if interface.synchronous else "async"
+        out.write(f"  {name:9s} {interface.cpu_overhead_ns:.0f} ns/IO ({kind})\n")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace, out) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    params = _params(args, dataset.n)
+    prefix = Path(args.out)
+    prefix.parent.mkdir(parents=True, exist_ok=True)
+    with FileBlockStore(prefix.with_suffix(".blocks")) as store:
+        index = E2LSHoSIndex.build(dataset.data, params, store=store, seed=args.seed)
+        save_index(index, prefix.with_suffix(".npz"))
+        out.write(
+            f"built {format_bytes(index.storage_bytes)} index "
+            f"({index.built.ladder.rungs} radii x {params.L} tables) "
+            f"-> {prefix.with_suffix('.blocks')} + {prefix.with_suffix('.npz')}\n"
+        )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    prefix = Path(args.index)
+    if not prefix.with_suffix(".blocks").exists():
+        out.write(f"error: no index at {prefix}\n")
+        return 1
+    with FileBlockStore(prefix.with_suffix(".blocks")) as store:
+        index = load_index(prefix.with_suffix(".npz"), store, dataset.data)
+        engine = make_engine(
+            store, device=args.device, count=args.count, interface=args.interface
+        )
+        result = index.run(dataset.queries, engine, k=args.k)
+        truth = exact_knn(dataset.data, dataset.queries, k=args.k)
+        ratio = overall_ratio([a.distances for a in result.answers], truth, k=args.k)
+        out.write(
+            f"{len(result.answers)} queries on {args.device} x{args.count} "
+            f"({args.interface}): {format_time(result.mean_query_time_ns)}/query, "
+            f"{result.queries_per_second:,.0f} q/s, overall ratio {ratio:.4f}\n"
+        )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace, out) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    params = _params(args, dataset.n)
+    index = E2LSHIndex(dataset.data, params, seed=args.seed)
+    answers = index.query_batch(dataset.queries, k=args.k)
+    stats = [a.stats for a in answers]
+    compute_ns = float(np.mean([DEFAULT_MACHINE.compute_ns(a.stats.ops) for a in answers]))
+    n_io = average_n_io(stats, 512)
+    target_ns = args.target_ms * 1e6
+    iops = required_iops(n_io, target_ns)
+    rate = required_request_rate(n_io, target_ns, compute_ns)
+    out.write(
+        f"workload: {n_io:.1f} I/Os per query at B=512, "
+        f"compute {format_time(compute_ns)}/query\n"
+        f"to reach {args.target_ms} ms/query: storage >= {format_iops(iops)}, "
+    )
+    out.write(
+        "no interface is fast enough (compute exceeds the target)\n"
+        if rate == float("inf")
+        else f"interface >= {format_iops(rate)} per core\n"
+    )
+    qualifying = [n for n, p in DEVICE_PROFILES.items() if p.max_iops >= iops]
+    out.write(f"qualifying devices: {', '.join(qualifying) or 'none'}\n")
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "info":
+        return _cmd_info(out)
+    if args.command == "build":
+        return _cmd_build(args, out)
+    if args.command == "query":
+        return _cmd_query(args, out)
+    if args.command == "analyze":
+        return _cmd_analyze(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

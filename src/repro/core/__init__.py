@@ -1,0 +1,49 @@
+"""The paper's primary contribution: E2LSH and E2LSH-on-Storage.
+
+- :mod:`repro.core.lsh` — the p-stable hash family of Eq. 1 and the
+  compound hashes of Eq. 4,
+- :mod:`repro.core.collision` — the collision probability p_w(s) and the
+  exponent rho,
+- :mod:`repro.core.params` — Eq. 5 parameter derivation with the paper's
+  gamma scaling (Sec. 3.3),
+- :mod:`repro.core.radii` — the (R, c)-NN radius ladder (Sec. 2.3),
+- :mod:`repro.core.e2lsh` — in-memory E2LSH answering top-k c-ANNS,
+- :mod:`repro.core.e2lshos` — the external-memory adaptation (Sec. 5),
+- :mod:`repro.core.multiprobe` — multi-probe extension (Sec. 7 ablation).
+"""
+
+from repro.core.collision import (
+    collision_probability,
+    query_aware_collision_probability,
+    rho_for_width,
+)
+from repro.core.lsh import CompoundHashBank
+from repro.core.params import E2LSHParams
+from repro.core.radii import RadiusLadder
+from repro.core.e2lsh import E2LSHIndex, QueryAnswer
+from repro.stats import OpCounts, QueryStats
+
+
+def __getattr__(name: str):
+    # E2LSHoSIndex is loaded lazily (PEP 562): e2lshos pulls in the
+    # layout/storage/analysis stacks, which themselves import leaf
+    # modules of this package — eager import here would be circular.
+    if name == "E2LSHoSIndex":
+        from repro.core.e2lshos import E2LSHoSIndex
+
+        return E2LSHoSIndex
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "collision_probability",
+    "query_aware_collision_probability",
+    "rho_for_width",
+    "CompoundHashBank",
+    "E2LSHParams",
+    "RadiusLadder",
+    "E2LSHIndex",
+    "E2LSHoSIndex",
+    "QueryAnswer",
+    "OpCounts",
+    "QueryStats",
+]

@@ -1,0 +1,91 @@
+"""Collision probabilities of p-stable LSH (paper Sec. 2.2).
+
+For the hash ``h(o) = floor((a.o + b) / w)`` with ``a ~ N(0, I)``, two
+points at Euclidean distance ``s`` collide with probability (Datar et
+al. 2004)::
+
+    p_w(s) = 1 - 2 Phi(-w/s) - (2 s / (sqrt(2 pi) w)) (1 - exp(-w^2 / (2 s^2)))
+
+which depends only on the ratio ``t = w / s`` and decreases
+monotonically in ``s``.  QALSH's query-aware hash drops the floor and
+uses a window of width ``w`` centered on the query projection, giving
+``2 Phi(w / (2 s)) - 1``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "collision_probability",
+    "query_aware_collision_probability",
+    "rho_for_width",
+    "width_for_rho",
+]
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+
+def collision_probability(w_over_s: float | np.ndarray) -> float | np.ndarray:
+    """p-stable collision probability as a function of ``t = w / s``.
+
+    ``t -> 0`` (far points) gives probability 0; ``t -> inf`` (identical
+    points) gives 1.  Accepts scalars or arrays.
+    """
+    t = np.asarray(w_over_s, dtype=float)
+    if np.any(t < 0):
+        raise ValueError("w / s must be non-negative")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = 1.0 - 2.0 * norm.cdf(-t) - (2.0 / (_SQRT_2PI * t)) * (1.0 - np.exp(-(t**2) / 2.0))
+    p = np.where(t == 0, 0.0, p)
+    p = np.clip(p, 0.0, 1.0)
+    return float(p) if np.isscalar(w_over_s) or p.ndim == 0 else p
+
+
+def query_aware_collision_probability(w_over_s: float | np.ndarray) -> float | np.ndarray:
+    """QALSH's query-centered collision probability ``2 Phi(t/2) - 1``."""
+    t = np.asarray(w_over_s, dtype=float)
+    if np.any(t < 0):
+        raise ValueError("w / s must be non-negative")
+    p = 2.0 * norm.cdf(t / 2.0) - 1.0
+    return float(p) if np.isscalar(w_over_s) or p.ndim == 0 else p
+
+
+def rho_for_width(w: float, c: float) -> float:
+    """Theoretical exponent ``rho = ln(1/p1) / ln(1/p2)`` (Eq. 5).
+
+    ``p1 = p_w(R)`` and ``p2 = p_w(cR)`` depend only on ``w`` (measured
+    in units of the radius R) and the approximation ratio ``c``.
+    """
+    if w <= 0:
+        raise ValueError(f"w must be positive, got {w}")
+    if c <= 1:
+        raise ValueError(f"c must be > 1, got {c}")
+    p1 = collision_probability(w)
+    p2 = collision_probability(w / c)
+    return math.log(1.0 / p1) / math.log(1.0 / p2)
+
+
+def width_for_rho(target_rho: float, c: float, lo: float = 0.05, hi: float = 64.0) -> float:
+    """Invert :func:`rho_for_width` by bisection.
+
+    ``rho_for_width`` decreases in ``w`` (wider buckets reject far points
+    relatively better under c-scaling), so a simple bisection suffices.
+    Raises if ``target_rho`` is outside the achievable range.
+    """
+    rho_lo = rho_for_width(hi, c)  # smallest achievable rho
+    rho_hi = rho_for_width(lo, c)  # largest achievable rho
+    if not rho_lo <= target_rho <= rho_hi:
+        raise ValueError(
+            f"rho={target_rho} not achievable for c={c}; range is [{rho_lo:.3f}, {rho_hi:.3f}]"
+        )
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if rho_for_width(mid, c) > target_rho:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)

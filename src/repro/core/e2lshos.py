@@ -1,0 +1,292 @@
+"""E2LSH-on-Storage (paper Sec. 5).
+
+The hash index (tables + buckets) lives on storage; the database vectors
+stay in DRAM.  Each query is a cooperative task following Figure 10:
+
+1. compute the query's compound hash values (Compute),
+2. read the hash-table slots of all occupancy-filtered tables of the
+   current rung in one asynchronous batch (Step 1),
+3. read the first block of every non-empty bucket in one batch (Step 2),
+   then follow chain pointers in further batches while the S-candidate
+   budget lasts,
+4. fingerprint-filter the entries, fetch candidates from DRAM, compute
+   true distances, and update the (R, c)-NN state (Step 3).
+
+Many query tasks are interleaved by the
+:class:`~repro.storage.engine.AsyncIOEngine`, which is how the paper
+builds deep I/O queues (Sec. 5.4).  The same tasks executed against a
+:class:`~repro.storage.page_cache.PageCache` reproduce the synchronous
+memory-mapped baseline of Sec. 6.5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.machine_model import DEFAULT_MACHINE, MachineModel
+from repro.core.e2lsh import QueryAnswer
+from repro.core.params import E2LSHParams
+from repro.core.query_stats import OpCounts, QueryStats
+from repro.core.radii import RadiusLadder
+from repro.layout.bucket import NULL_ADDRESS, decode_block
+from repro.layout.builder import BuiltIndex, IndexBuilder
+from repro.layout.hash_table import SLOT_SIZE, OnStorageHashTable
+from repro.storage.blockstore import BlockStore, MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine, Compute, EngineResult, Read, ReadBatch, Task
+from repro.storage.page_cache import PageCache
+
+__all__ = ["E2LSHoSIndex", "BatchResult"]
+
+
+@dataclass
+class BatchResult:
+    """Answers plus engine statistics for one batch of queries."""
+
+    answers: list[QueryAnswer]
+    engine: EngineResult
+
+    @property
+    def mean_query_time_ns(self) -> float:
+        """Average per-query time (makespan over interleaved queries)."""
+        return self.engine.mean_task_time_ns
+
+    @property
+    def queries_per_second(self) -> float:
+        """Query throughput."""
+        return self.engine.tasks_per_second
+
+
+class E2LSHoSIndex:
+    """External-memory E2LSH over a built on-storage index."""
+
+    def __init__(
+        self,
+        built: BuiltIndex,
+        data: np.ndarray,
+        machine: MachineModel = DEFAULT_MACHINE,
+    ) -> None:
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        if data.shape[0] != built.params.n:
+            raise ValueError(f"data has n={data.shape[0]}, index expects {built.params.n}")
+        self.built = built
+        self.data = data
+        self.machine = machine
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        params: E2LSHParams,
+        store: BlockStore | None = None,
+        ladder: RadiusLadder | None = None,
+        block_size: int = 512,
+        table_bits: int | None = None,
+        seed: int = 0,
+        machine: MachineModel = DEFAULT_MACHINE,
+        bank=None,
+    ) -> "E2LSHoSIndex":
+        """Build the on-storage index for ``data`` and wrap it."""
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        ladder = ladder or RadiusLadder.for_data(data, params.c)
+        store = store if store is not None else MemoryBlockStore()
+        builder = IndexBuilder(
+            store=store,
+            params=params,
+            ladder=ladder,
+            block_size=block_size,
+            table_bits=table_bits,
+            seed=seed,
+        )
+        return cls(built=builder.build(data, bank=bank), data=data, machine=machine)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def params(self) -> E2LSHParams:
+        """E2LSH parameters the index was built with."""
+        return self.built.params
+
+    @property
+    def ladder(self) -> RadiusLadder:
+        """Radius ladder."""
+        return self.built.ladder
+
+    @property
+    def storage_bytes(self) -> int:
+        """On-storage index size (Table 6, "Index storage")."""
+        return self.built.stats.index_storage_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        """Runtime DRAM: database + resident index data (Table 6)."""
+        return self.data.nbytes + self.built.dram_bytes
+
+    # -- query tasks ----------------------------------------------------------
+
+    def query_task(self, query: np.ndarray, k: int = 1) -> Task:
+        """Cooperative task answering one query (drive with the engine)."""
+        return self._run_query(np.asarray(query, dtype=np.float32).reshape(-1), k)
+
+    def _run_query(self, query: np.ndarray, k: int) -> Task:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        d = self.data.shape[1]
+        if query.size != d:
+            raise ValueError(f"query has d={query.size}, index expects {d}")
+        built = self.built
+        params = built.params
+        codec = built.codec
+        machine = self.machine
+        stats = QueryStats()
+
+        # Hash the query once; rungs reuse the projections (Sec. 5.3).
+        step = OpCounts(projection_scalar_ops=d * params.L * params.m)
+        stats.ops.add(step)
+        yield Compute(machine.compute_ns(step))
+        projections = built.bank.project(query)
+
+        pool_ids = np.empty(0, dtype=np.int64)
+        pool_dists = np.empty(0, dtype=np.float64)
+
+        for rung_index, radius in enumerate(built.ladder):
+            stats.rungs_searched += 1
+            step = OpCounts(rounds=1, projection_scalar_ops=params.L * params.m)
+            stats.ops.add(step)
+            yield Compute(machine.compute_ns(step))
+            hash_values = built.bank.mix32(built.bank.codes_for_radius(projections, radius))[0]
+            slots, fingerprints = codec.split_hash(hash_values)
+
+            # DRAM occupancy filter: skip I/O for empty buckets (exact
+            # membership of the 32-bit value; see TableHandle).
+            rung_tables = built.tables[rung_index]
+            probes: list[tuple[OnStorageHashTable, int, int]] = []
+            for l in range(params.L):
+                stats.buckets_probed += 1
+                handle = rung_tables[l]
+                if handle.contains(int(hash_values[l])):
+                    probes.append((handle.table, int(slots[l]), int(fingerprints[l])))
+            step = OpCounts(bucket_lookups=params.L)
+            stats.ops.add(step)
+            yield Compute(machine.compute_ns(step))
+
+            budget = params.S
+            collected: list[np.ndarray] = []
+            if probes:
+                # Step 1: hash-table slot reads, all in one async batch.
+                slot_reads = [(table.slot_address(slot), SLOT_SIZE) for table, slot, _ in probes]
+                stats.ios_issued += len(slot_reads)
+                raw_slots = yield ReadBatch(slot_reads)
+                heads = [
+                    (OnStorageHashTable.parse_slot(raw), fp)
+                    for raw, (_, _, fp) in zip(raw_slots, probes)
+                ]
+                # Step 2: first bucket block of every non-empty bucket.
+                pending = [(address, fp) for address, fp in heads if address != NULL_ADDRESS]
+                stats.nonempty_buckets += len(pending)
+                while pending and budget > 0:
+                    reads = [(address, built.block_size) for address, _ in pending]
+                    stats.ios_issued += len(reads)
+                    raw_blocks = yield ReadBatch(reads)
+                    next_pending: list[tuple[int, int]] = []
+                    for raw, (_, fp) in zip(raw_blocks, pending):
+                        if budget <= 0:
+                            break
+                        block = decode_block(codec, raw)
+                        matches = block.object_ids[block.fingerprints == fp]
+                        take = min(int(matches.size), budget)
+                        stats.bucket_sizes_examined.append(int(block.count))
+                        stats.bucket_blocks_read += 1
+                        if take > 0:
+                            collected.append(matches[:take].astype(np.int64))
+                            budget -= take
+                        if block.has_next and budget > 0:
+                            next_pending.append((block.next_address, fp))
+                    pending = next_pending
+
+            # Step 3: fingerprint-filtered candidates -> true distances.
+            if collected:
+                candidates = np.unique(np.concatenate(collected))
+                new = candidates[~np.isin(candidates, pool_ids, assume_unique=True)]
+                if new.size:
+                    diffs = self.data[new].astype(np.float64) - query.astype(np.float64)
+                    dists = np.sqrt(np.einsum("nd,nd->n", diffs, diffs))
+                    stats.candidates_checked += int(new.size)
+                    step = OpCounts(
+                        candidate_fetches=int(new.size),
+                        distance_scalar_ops=int(new.size) * d,
+                    )
+                    stats.ops.add(step)
+                    yield Compute(machine.compute_ns(step))
+                    pool_ids = np.concatenate([pool_ids, new])
+                    pool_dists = np.concatenate([pool_dists, dists])
+
+            if pool_ids.size and int((pool_dists <= params.c * radius).sum()) >= k:
+                break
+
+        if pool_ids.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return QueryAnswer(ids=empty, distances=empty.astype(np.float64), stats=stats)
+        order = np.argsort(pool_dists, kind="stable")[:k]
+        return QueryAnswer(ids=pool_ids[order], distances=pool_dists[order], stats=stats)
+
+    # -- batch execution -------------------------------------------------------
+
+    def run(
+        self,
+        queries: np.ndarray,
+        engine: AsyncIOEngine,
+        k: int = 1,
+        workers: int = 1,
+    ) -> BatchResult:
+        """Answer all ``queries`` by interleaving their tasks on ``engine``."""
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        tasks = [self.query_task(row, k=k) for row in queries]
+        result = engine.run(tasks, workers=workers)
+        return BatchResult(answers=list(result.results), engine=result)
+
+    def run_mmap_sync(
+        self,
+        queries: np.ndarray,
+        cache: PageCache,
+        k: int = 1,
+    ) -> tuple[list[QueryAnswer], float]:
+        """Synchronous memory-mapped execution (Sec. 6.5 baseline).
+
+        Every index read becomes a blocking page-cache access; queries
+        run one after another with no I/O overlap.  Returns the answers
+        and the total simulated time.
+        """
+        queries = np.asarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        clock = 0.0
+        answers: list[QueryAnswer] = []
+        for row in queries:
+            task = self.query_task(row, k=k)
+            send_value = None
+            while True:
+                try:
+                    action = task.send(send_value)
+                except StopIteration as stop:
+                    answers.append(stop.value)
+                    break
+                send_value = None
+                if isinstance(action, Compute):
+                    clock += action.duration_ns
+                elif isinstance(action, Read):
+                    send_value, clock = cache.read(clock, action.address, action.length)
+                elif isinstance(action, ReadBatch):
+                    payload = []
+                    for address, length in action.requests:
+                        data, clock = cache.read(clock, address, length)
+                        payload.append(data)
+                    send_value = payload
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unsupported action {action!r}")
+        return answers, clock

@@ -1,0 +1,140 @@
+"""The p-stable LSH family and compound hashes (paper Eqs. 1 and 4).
+
+One :class:`CompoundHashBank` holds the random projections for all
+``L`` compound hashes of ``m`` functions each.  The same projections are
+shared across the radius ladder: rung ``R`` only rescales the bucket
+width to ``w * R`` (equivalent to hashing the data scaled by ``1/R``),
+so ``X @ A`` is computed once and floored per rung.  This is the
+standard E2LSH-package economy; rungs remain pairwise independent *in
+the offsets* and the measured collision behaviour matches the per-rung
+analysis, while index construction avoids an ``r``-fold matmul blowup.
+
+Compound hash values are reduced to ``v = 32`` bits (Sec. 5.2) by a
+per-table universal mix of the ``m`` integer lattice codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import rng_for
+
+__all__ = ["CompoundHashBank"]
+
+#: SplitMix64 multiplier used to finalize the 32-bit compound hash value.
+_FINALIZER = np.uint64(0x9E3779B97F4A7C15)
+
+
+@dataclass(frozen=True)
+class CompoundHashBank:
+    """Random projections and mixers for L compound hashes of m functions."""
+
+    #: Projection matrix of shape (d, L * m); columns are the ``a`` vectors.
+    a: np.ndarray
+    #: Uniform offsets in [0, 1), shape (L * m,) — the ``b / w`` of Eq. 1.
+    b: np.ndarray
+    #: Odd 64-bit multipliers for the universal mix, shape (L, m).
+    mixers: np.ndarray
+    m: int
+    L: int
+    w: float
+
+    @classmethod
+    def create(cls, d: int, m: int, L: int, w: float, seed: int) -> "CompoundHashBank":
+        """Sample a bank for ``d``-dimensional data."""
+        if d < 1 or m < 1 or L < 1:
+            raise ValueError(f"d, m, L must be >= 1, got {d}, {m}, {L}")
+        if w <= 0:
+            raise ValueError(f"w must be positive, got {w}")
+        rng = rng_for(seed, "compound-hash-bank")
+        a = rng.standard_normal((d, L * m)).astype(np.float32)
+        b = rng.random(L * m).astype(np.float64)
+        mixers = (rng.integers(1, 2**63, size=(L, m), dtype=np.uint64) << np.uint64(1)) | np.uint64(1)
+        return cls(a=a, b=b, mixers=mixers, m=m, L=L, w=w)
+
+    @property
+    def d(self) -> int:
+        """Data dimensionality."""
+        return int(self.a.shape[0])
+
+    def with_m(self, m_new: int) -> "CompoundHashBank":
+        """A bank using only the first ``m_new`` functions of each table.
+
+        A prefix of a compound hash is itself a valid compound hash, so
+        accuracy tuning via the paper's gamma knob (which only changes
+        m, Sec. 3.3) can reuse one bank — and one projection pass —
+        across all gamma values.
+        """
+        if not 1 <= m_new <= self.m:
+            raise ValueError(f"m_new must be in [1, {self.m}], got {m_new}")
+        if m_new == self.m:
+            return self
+        columns = (
+            np.arange(self.L)[:, None] * self.m + np.arange(m_new)[None, :]
+        ).reshape(-1)
+        return CompoundHashBank(
+            a=self.a[:, columns],
+            b=self.b[columns],
+            mixers=self.mixers[:, :m_new],
+            m=m_new,
+            L=self.L,
+            w=self.w,
+        )
+
+    def select_projection_columns(self, projections: np.ndarray, m_new: int) -> np.ndarray:
+        """Restrict full-bank projections to the first ``m_new`` per table."""
+        if projections.shape[1] != self.L * self.m:
+            raise ValueError(
+                f"projections have {projections.shape[1]} columns, expected {self.L * self.m}"
+            )
+        columns = (
+            np.arange(self.L)[:, None] * self.m + np.arange(m_new)[None, :]
+        ).reshape(-1)
+        return projections[:, columns]
+
+    @property
+    def memory_bytes(self) -> int:
+        """DRAM footprint of the bank (kept in memory by E2LSHoS)."""
+        return self.a.nbytes + self.b.nbytes + self.mixers.nbytes
+
+    def project(self, points: np.ndarray) -> np.ndarray:
+        """Dot products ``points @ a`` of shape (n, L * m), float64.
+
+        This is the expensive part of hashing; callers cache it per
+        query (or per build chunk) and reuse it for every rung.
+        """
+        points = np.asarray(points, dtype=np.float32)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.shape[1] != self.d:
+            raise ValueError(f"points have d={points.shape[1]}, bank expects {self.d}")
+        return (points @ self.a).astype(np.float64)
+
+    def codes_for_radius(self, projections: np.ndarray, radius: float) -> np.ndarray:
+        """Lattice codes ``floor(proj / (w R) + b)`` of shape (n, L, m)."""
+        if radius <= 0:
+            raise ValueError(f"radius must be positive, got {radius}")
+        width = self.w * radius
+        codes = np.floor(projections / width + self.b).astype(np.int64)
+        return codes.reshape(-1, self.L, self.m)
+
+    def mix32(self, codes: np.ndarray) -> np.ndarray:
+        """Reduce (n, L, m) lattice codes to (n, L) 32-bit hash values.
+
+        Uses a per-table universal linear combination over Z/2^64
+        followed by a SplitMix-style finalizer; the high 32 bits become
+        the compound hash value ``v`` of Sec. 5.2.
+        """
+        if codes.ndim != 3 or codes.shape[1] != self.L or codes.shape[2] != self.m:
+            raise ValueError(f"codes must have shape (n, {self.L}, {self.m})")
+        unsigned = codes.astype(np.uint64)
+        mixed = np.einsum("nlm,lm->nl", unsigned, self.mixers, dtype=np.uint64)
+        mixed ^= mixed >> np.uint64(31)
+        mixed *= _FINALIZER
+        return (mixed >> np.uint64(32)).astype(np.uint32)
+
+    def hash_values(self, points: np.ndarray, radius: float) -> np.ndarray:
+        """Convenience: 32-bit compound hash values of shape (n, L)."""
+        return self.mix32(self.codes_for_radius(self.project(points), radius))

@@ -1,0 +1,111 @@
+"""E2LSH parameter derivation (paper Eq. 5 and Sec. 3.3).
+
+With collision probabilities ``p1 = p_w(R)`` and ``p2 = p_w(cR)``::
+
+    m = gamma * log_{1/p2} n      (gamma is the paper's accuracy knob)
+    L = n ** rho
+    S = 2 * L
+
+``rho = ln(1/p1) / ln(1/p2)`` is the *theoretical* exponent; the paper
+treats the effective rho (hence L, hence the index size) as a design
+choice "large enough to achieve the desired range of accuracy" — real
+datasets have near neighbors much closer than the rung radius, so their
+effective p1 is far higher than the worst-case bound and much smaller L
+suffices (their L is 16-51 where the worst-case bound would demand
+hundreds).  We mirror that: ``rho`` is an explicit parameter defaulting
+to a practical value, and ``gamma`` rescales ``m`` without touching the
+index size, exactly as in Sec. 3.3.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.core.collision import collision_probability
+
+__all__ = ["E2LSHParams"]
+
+#: The paper's approximation ratio for E2LSH (Sec. 3.3).
+DEFAULT_C = 2.0
+#: Bucket width in units of the rung radius; p2 = p_w(c) stays well below
+#: p1 = p_w(1) at this setting.
+DEFAULT_W = 4.0
+#: Practical index-size exponent (see module docstring).
+DEFAULT_RHO = 0.30
+
+
+@dataclass(frozen=True)
+class E2LSHParams:
+    """Resolved E2LSH parameters for one database size."""
+
+    n: int
+    c: float = DEFAULT_C
+    w: float = DEFAULT_W
+    rho: float = DEFAULT_RHO
+    #: Accuracy scaling of m (Sec. 3.3); smaller gamma widens buckets'
+    #: effective reach (more candidates, higher accuracy, more work).
+    gamma: float = 1.0
+    #: Candidate-count multiplier: S = s_factor * L (the paper uses 2L).
+    s_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.c <= 1:
+            raise ValueError(f"c must be > 1, got {self.c}")
+        if self.w <= 0:
+            raise ValueError(f"w must be positive, got {self.w}")
+        if not 0 < self.rho < 1:
+            raise ValueError(f"rho must be in (0, 1), got {self.rho}")
+        if self.gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+        if self.s_factor <= 0:
+            raise ValueError(f"s_factor must be positive, got {self.s_factor}")
+
+    @property
+    def p1(self) -> float:
+        """Collision probability of points at the rung radius."""
+        return float(collision_probability(self.w))
+
+    @property
+    def p2(self) -> float:
+        """Collision probability of points at c times the rung radius."""
+        return float(collision_probability(self.w / self.c))
+
+    @property
+    def m(self) -> int:
+        """Hash functions per compound hash: ``ceil(gamma * log_{1/p2} n)``."""
+        base = math.log(max(self.n, 2)) / math.log(1.0 / self.p2)
+        return max(1, math.ceil(self.gamma * base))
+
+    @property
+    def L(self) -> int:
+        """Number of compound hashes (hash tables per radius): ``ceil(n^rho)``."""
+        return max(1, math.ceil(self.n**self.rho))
+
+    @property
+    def S(self) -> int:
+        """Candidate budget per radius: ``s_factor * L`` (paper: 2L)."""
+        return max(1, math.ceil(self.s_factor * self.L))
+
+    @property
+    def success_probability(self) -> float:
+        """Datar et al.'s guarantee at gamma = 1: ``1/2 - 1/e``."""
+        return 0.5 - 1.0 / math.e
+
+    def with_gamma(self, gamma: float) -> "E2LSHParams":
+        """Copy with a different accuracy scaling (does not change L)."""
+        return replace(self, gamma=gamma)
+
+    def with_s_factor(self, s_factor: float) -> "E2LSHParams":
+        """Copy with a different candidate budget."""
+        return replace(self, s_factor=s_factor)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"E2LSHParams(n={self.n}, c={self.c}, w={self.w}, rho={self.rho}, "
+            f"gamma={self.gamma}: m={self.m}, L={self.L}, S={self.S}, "
+            f"p1={self.p1:.3f}, p2={self.p2:.3f})"
+        )

@@ -1,0 +1,11 @@
+"""Compatibility shim: the stats types live in :mod:`repro.stats`.
+
+They sit outside the ``core`` package so that the analysis layer can
+import them without triggering ``repro.core``'s package init (which
+imports the analysis layer back — see the import graph note in
+DESIGN.md).
+"""
+
+from repro.stats import OpCounts, QueryStats
+
+__all__ = ["OpCounts", "QueryStats"]

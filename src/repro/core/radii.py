@@ -1,0 +1,70 @@
+"""The (R, c)-NN radius ladder (paper Sec. 2.3).
+
+c-ANNS is solved by answering (R, c)-near-neighbor queries for
+``R = 1, c, c^2, ...`` until an answer appears.  The largest radius ever
+needed is ``R_max = 2 * x_max * sqrt(d)`` where ``x_max`` is the largest
+absolute coordinate, so the ladder has ``r = ceil(log_c R_max)`` rungs —
+a property of the data's extent, not its size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RadiusLadder"]
+
+
+@dataclass(frozen=True)
+class RadiusLadder:
+    """The increasing radii searched by E2LSH."""
+
+    c: float
+    radii: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.c <= 1:
+            raise ValueError(f"c must be > 1, got {self.c}")
+        if not self.radii:
+            raise ValueError("ladder must have at least one rung")
+
+    @classmethod
+    def for_data(cls, data: np.ndarray, c: float) -> "RadiusLadder":
+        """Build the ladder for a database array of shape (n, d)."""
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        x_max = float(np.abs(data).max()) if data.size else 1.0
+        return cls.for_extent(x_max, data.shape[1], c)
+
+    @classmethod
+    def for_extent(cls, x_max: float, d: int, c: float) -> "RadiusLadder":
+        """Build the ladder from the coordinate extent and dimensionality."""
+        if d < 1:
+            raise ValueError(f"d must be >= 1, got {d}")
+        r_max = 2.0 * max(x_max, 0.0) * math.sqrt(d)
+        if r_max <= 1.0:
+            rungs = 1
+        else:
+            rungs = max(1, math.ceil(math.log(r_max, c)))
+        return cls(c=c, radii=tuple(c**i for i in range(rungs)))
+
+    @property
+    def rungs(self) -> int:
+        """Total number of radii ``r`` (Table 4's "Total # radii")."""
+        return len(self.radii)
+
+    @property
+    def r_max(self) -> float:
+        """Largest radius in the ladder."""
+        return self.radii[-1]
+
+    def __iter__(self):
+        return iter(self.radii)
+
+    def __len__(self) -> int:
+        return len(self.radii)
+
+    def __getitem__(self, index: int) -> float:
+        return self.radii[index]

@@ -1,0 +1,72 @@
+"""Dataset container shared by all generators and experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True, eq=False)
+class Dataset:
+    """A database plus its query set.
+
+    ``data`` is always float32 for the math; ``value_type`` records
+    whether the source values were bytes (SIFT, MNIST, BIGANN) or floats,
+    which matters for the paper's Table 1 and for distance-kernel cost
+    accounting.
+    """
+
+    name: str
+    data: np.ndarray
+    queries: np.ndarray
+    value_type: str = "float"
+    kind: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.data.ndim != 2 or self.queries.ndim != 2:
+            raise ValueError("data and queries must be 2-D arrays")
+        if self.data.shape[1] != self.queries.shape[1]:
+            raise ValueError(
+                f"dimension mismatch: data d={self.data.shape[1]}, "
+                f"queries d={self.queries.shape[1]}"
+            )
+        if self.value_type not in ("float", "byte"):
+            raise ValueError(f"value_type must be 'float' or 'byte', got {self.value_type!r}")
+
+    @property
+    def n(self) -> int:
+        """Database size."""
+        return self.data.shape[0]
+
+    @property
+    def d(self) -> int:
+        """Dimensionality."""
+        return self.data.shape[1]
+
+    @property
+    def n_queries(self) -> int:
+        """Number of queries."""
+        return self.queries.shape[0]
+
+    def subset(self, n: int) -> "Dataset":
+        """First ``n`` database objects with the same query set.
+
+        Used by the sublinearity experiment (Figure 14), which takes
+        increasing subsets of the BIGANN analog.
+        """
+        if not 1 <= n <= self.n:
+            raise ValueError(f"subset size {n} outside [1, {self.n}]")
+        return replace(self, data=self.data[:n])
+
+    def with_queries(self, queries: np.ndarray) -> "Dataset":
+        """Same database with a different query set."""
+        return replace(self, queries=np.asarray(queries, dtype=np.float32))
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset({self.name!r}, n={self.n}, d={self.d}, "
+            f"queries={self.n_queries}, {self.value_type})"
+        )

@@ -1,0 +1,75 @@
+"""Dataset hardness metrics: Relative Contrast and LID (paper Table 1).
+
+- Relative Contrast (He et al. 2012): the ratio of the mean distance
+  from a query to the database over the distance to the query's nearest
+  neighbor, averaged over queries.  RC near 1 means neighbors are barely
+  distinguishable from random points (hard); large RC means easy.
+- Local Intrinsic Dimensionality (Amsaleg et al. 2015): the
+  maximum-likelihood estimator ``LID(q) = -(mean_i log(r_i / r_k))^-1``
+  over the k nearest distances ``r_1 <= ... <= r_k``, averaged over
+  queries.  Larger LID means harder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["relative_contrast", "local_intrinsic_dimensionality", "pairwise_distances"]
+
+
+def pairwise_distances(queries: np.ndarray, data: np.ndarray) -> np.ndarray:
+    """Euclidean distance matrix of shape (n_queries, n_data)."""
+    queries = np.asarray(queries, dtype=np.float64)
+    data = np.asarray(data, dtype=np.float64)
+    sq = (queries**2).sum(axis=1)[:, None] + (data**2).sum(axis=1)[None, :]
+    sq -= 2.0 * (queries @ data.T)
+    return np.sqrt(np.maximum(sq, 0.0))
+
+
+def relative_contrast(
+    data: np.ndarray,
+    queries: np.ndarray,
+    sample_size: int = 5_000,
+    seed: int = 0,
+) -> float:
+    """Mean over queries of (mean distance / nearest-neighbor distance).
+
+    The mean distance is estimated on a database sample of
+    ``sample_size``; the nearest distance is exact.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    if data.shape[0] > sample_size:
+        sample = data[rng.choice(data.shape[0], sample_size, replace=False)]
+    else:
+        sample = data
+    mean_dist = pairwise_distances(queries, sample).mean(axis=1)
+    nn_dist = pairwise_distances(queries, data).min(axis=1)
+    nn_dist = np.maximum(nn_dist, 1e-12)
+    return float((mean_dist / nn_dist).mean())
+
+
+def local_intrinsic_dimensionality(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int = 20,
+) -> float:
+    """MLE estimate of LID averaged over the query set."""
+    if k < 2:
+        raise ValueError(f"k must be >= 2, got {k}")
+    distances = pairwise_distances(queries, data)
+    distances.sort(axis=1)
+    estimates = []
+    for row in distances:
+        neighbors = row[row > 1e-12][:k]
+        if neighbors.size < 2:
+            continue
+        r_k = neighbors[-1]
+        logs = np.log(neighbors / r_k)
+        mean_log = logs[:-1].mean() if neighbors.size > 1 else 0.0
+        if mean_log < 0:
+            estimates.append(-1.0 / mean_log)
+    if not estimates:
+        raise ValueError("could not estimate LID: queries coincide with data")
+    return float(np.mean(estimates))

@@ -1,0 +1,21 @@
+"""Accuracy evaluation: ground truth, overall ratio, knob tuning.
+
+The paper compares methods at equal accuracy, measured by the *overall
+ratio* (Sec. 3.2): the average over the top-k answers of the returned
+distance divided by the exact i-th nearest distance.  1.0 is exact;
+the paper's default target is 1.05.
+"""
+
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.ratio import overall_ratio, recall_at_k
+from repro.eval.harness import MethodRun, TunedMethod, tune_to_ratio
+
+__all__ = [
+    "GroundTruth",
+    "exact_knn",
+    "overall_ratio",
+    "recall_at_k",
+    "MethodRun",
+    "TunedMethod",
+    "tune_to_ratio",
+]

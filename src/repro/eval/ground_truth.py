@@ -1,0 +1,65 @@
+"""Exact k-nearest-neighbor ground truth via chunked brute force."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GroundTruth", "exact_knn"]
+
+
+@dataclass(frozen=True, eq=False)
+class GroundTruth:
+    """Exact neighbors for one query set."""
+
+    #: IDs of shape (n_queries, k), ascending distance.
+    ids: np.ndarray
+    #: Distances of shape (n_queries, k).
+    distances: np.ndarray
+
+    @property
+    def k(self) -> int:
+        """Neighbors per query."""
+        return self.ids.shape[1]
+
+
+def exact_knn(
+    data: np.ndarray,
+    queries: np.ndarray,
+    k: int,
+    chunk_rows: int = 65_536,
+) -> GroundTruth:
+    """Exact top-k by chunked brute-force distance computation.
+
+    Chunking over database rows keeps the distance matrix within a few
+    hundred MB even for the largest sweeps.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim == 1:
+        queries = queries[None, :]
+    n, q = data.shape[0], queries.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    best_ids = np.zeros((q, 0), dtype=np.int64)
+    best_dists = np.zeros((q, 0), dtype=np.float64)
+    query_sq = (queries**2).sum(axis=1)[:, None]
+    for start in range(0, n, chunk_rows):
+        chunk = data[start : start + chunk_rows]
+        sq = query_sq + (chunk**2).sum(axis=1)[None, :] - 2.0 * (queries @ chunk.T)
+        dists = np.sqrt(np.maximum(sq, 0.0))
+        take = min(k, chunk.shape[0])
+        part = np.argpartition(dists, take - 1, axis=1)[:, :take]
+        rows = np.arange(q)[:, None]
+        best_ids = np.concatenate([best_ids, part + start], axis=1)
+        best_dists = np.concatenate([best_dists, dists[rows, part]], axis=1)
+        if best_ids.shape[1] > k:
+            keep = np.argpartition(best_dists, k - 1, axis=1)[:, :k]
+            best_ids = best_ids[rows, keep]
+            best_dists = best_dists[rows, keep]
+
+    order = np.argsort(best_dists, axis=1, kind="stable")
+    rows = np.arange(q)[:, None]
+    return GroundTruth(ids=best_ids[rows, order], distances=best_dists[rows, order])

@@ -1,0 +1,59 @@
+"""Overall ratio and recall metrics (paper Sec. 3.2)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.eval.ground_truth import GroundTruth
+
+__all__ = ["overall_ratio", "recall_at_k"]
+
+#: Ratio charged for each neighbor a method failed to return at all;
+#: large enough that incomplete answers never pass an accuracy target.
+MISSING_PENALTY_RATIO = 10.0
+
+
+def overall_ratio(
+    answer_distances: Sequence[np.ndarray],
+    truth: GroundTruth,
+    k: int,
+) -> float:
+    """Mean over queries of ``(1/k) sum_i d_i / d*_i``.
+
+    ``answer_distances[j]`` holds the returned distances of query ``j``
+    in ascending order (possibly fewer than k).  Exact answers give 1.0.
+    """
+    if len(answer_distances) != truth.ids.shape[0]:
+        raise ValueError(
+            f"{len(answer_distances)} answers for {truth.ids.shape[0]} queries"
+        )
+    if not 1 <= k <= truth.k:
+        raise ValueError(f"k must be in [1, {truth.k}], got {k}")
+    per_query = []
+    for answer, exact in zip(answer_distances, truth.distances):
+        answer = np.asarray(answer, dtype=np.float64)[:k]
+        exact_k = np.maximum(exact[:k], 1e-12)
+        ratios = np.full(k, MISSING_PENALTY_RATIO)
+        found = answer.size
+        if found:
+            ratios[:found] = np.maximum(answer / exact_k[:found], 1.0)
+        per_query.append(ratios.mean())
+    return float(np.mean(per_query))
+
+
+def recall_at_k(
+    answer_ids: Sequence[np.ndarray],
+    truth: GroundTruth,
+    k: int,
+) -> float:
+    """Fraction of exact top-k IDs recovered, averaged over queries."""
+    if not 1 <= k <= truth.k:
+        raise ValueError(f"k must be in [1, {truth.k}], got {k}")
+    scores = []
+    for answer, exact in zip(answer_ids, truth.ids):
+        exact_set = set(exact[:k].tolist())
+        hit = sum(1 for obj in np.asarray(answer)[:k].tolist() if obj in exact_set)
+        scores.append(hit / k)
+    return float(np.mean(scores))

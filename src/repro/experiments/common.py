@@ -1,0 +1,336 @@
+"""Shared measurement machinery for the experiment drivers.
+
+This module owns the expensive steps — dataset synthesis, exact ground
+truth, index construction, accuracy-knob sweeps — and caches them per
+(dataset, scale, k) so every benchmark in a pytest session reuses them.
+
+Timing conventions (all simulated nanoseconds):
+
+- in-memory E2LSH time = machine.inmemory_e2lsh_ns(ops)  (includes the
+  Sec. 4.5 footprint stall),
+- SRS / QALSH time = machine.compute_ns(ops)  (small indices, no extra
+  stall),
+- E2LSHoS time = engine makespan / #queries  (compute uses
+  machine.compute_ns inside the query tasks; I/O comes from the device
+  model).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.machine_model import DEFAULT_MACHINE, MachineModel
+from repro.baselines.qalsh import QALSHIndex
+from repro.baselines.srs import SRSIndex
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.e2lshos import BatchResult, E2LSHoSIndex
+from repro.core.lsh import CompoundHashBank
+from repro.core.params import E2LSHParams
+from repro.core.query_stats import QueryStats
+from repro.core.radii import RadiusLadder
+from repro.datasets.base import Dataset
+from repro.datasets.registry import DATASET_SPECS, DatasetSpec
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.harness import MethodRun, TunedMethod, tune_to_ratio
+from repro.eval.ratio import overall_ratio
+from repro.experiments.config import ExperimentScale
+from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine
+from repro.storage.profiles import INTERFACE_PROFILES, make_volume
+
+__all__ = [
+    "dataset_for",
+    "ground_truth_for",
+    "params_for",
+    "tuned_e2lsh",
+    "tuned_srs",
+    "tuned_qalsh",
+    "built_e2lshos",
+    "run_e2lshos",
+    "time_at_ratio",
+    "mean_stats",
+    "MACHINE",
+]
+
+MACHINE: MachineModel = DEFAULT_MACHINE
+
+
+# --------------------------------------------------------------------------
+# Datasets and ground truth
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def dataset_for(name: str, scale: ExperimentScale) -> Dataset:
+    """The analog dataset at this scale (cached)."""
+    spec = DATASET_SPECS[name]
+    n = scale.n_bigann if name == "bigann" else scale.n
+    return spec.load(n=n, n_queries=scale.n_queries, seed=scale.seed)
+
+
+@lru_cache(maxsize=None)
+def ground_truth_for(name: str, scale: ExperimentScale, k: int = 100) -> GroundTruth:
+    """Exact top-k ground truth (cached; k=100 covers every experiment)."""
+    dataset = dataset_for(name, scale)
+    return exact_knn(dataset.data, dataset.queries, k=min(k, dataset.n))
+
+
+def params_for(name: str, n: int, gamma: float = 1.0) -> E2LSHParams:
+    """E2LSH parameters for one dataset at size ``n`` (per-dataset rho).
+
+    Sec. 3.3: gamma rescales m, and "the scaling also modifies the
+    success probability, but that can be compensated for by the choice
+    of S".  We apply that compensation automatically — small gamma makes
+    buckets catch far more objects, so the candidate budget grows as
+    roughly gamma^-4 (capped) to let the extra candidates through.
+    """
+    s_factor = float(min(64.0, max(2.0, 2.0 * gamma**-4)))
+    return E2LSHParams(n=n, rho=DATASET_SPECS[name].rho, gamma=gamma, s_factor=s_factor)
+
+
+# --------------------------------------------------------------------------
+# E2LSH (in-memory) with bank reuse across the gamma sweep
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class E2LSHSweep:
+    """A tuned E2LSH plus the index of the selected run."""
+
+    tuned: TunedMethod
+    #: gamma -> built index (kept so E2LSHoS can reuse hash functions).
+    indices: dict[float, E2LSHIndex]
+    bank_full: CompoundHashBank
+    ladder: RadiusLadder
+
+    def index_at(self, gamma: float) -> E2LSHIndex:
+        """The in-memory index built for one gamma of the sweep."""
+        return self.indices[gamma]
+
+    @property
+    def selected_index(self) -> E2LSHIndex:
+        """Index of the selected (accuracy-target) run."""
+        return self.indices[self.tuned.selected.knob]
+
+
+def _run_e2lsh_index(
+    index: E2LSHIndex, queries: np.ndarray, truth: GroundTruth, k: int, knob: float
+) -> MethodRun:
+    answers = index.query_batch(queries, k=k)
+    ratio = overall_ratio([a.distances for a in answers], truth, k=k)
+    times = [MACHINE.inmemory_e2lsh_ns(a.stats.ops) for a in answers]
+    return MethodRun(
+        knob=knob,
+        overall_ratio=ratio,
+        mean_time_ns=float(np.mean(times)),
+        stats=[a.stats for a in answers],
+        answers=answers,
+    )
+
+
+@lru_cache(maxsize=None)
+def _e2lsh_indices(
+    name: str, scale: ExperimentScale
+) -> tuple[dict[float, E2LSHIndex], CompoundHashBank, RadiusLadder]:
+    """Build the in-memory index for every gamma of the sweep (cached).
+
+    One full-width hash bank is sampled once; every gamma reuses its
+    prefix (``bank.with_m``), so only the bucket regrouping is repeated.
+    The indices are shared across every k the experiments use.
+    """
+    dataset = dataset_for(name, scale)
+    base = params_for(name, dataset.n, gamma=max(scale.gammas))
+    ladder = RadiusLadder.for_data(dataset.data, base.c)
+    bank_full = CompoundHashBank.create(
+        d=dataset.d, m=base.m, L=base.L, w=base.w, seed=scale.seed
+    )
+    projections_full = bank_full.project(dataset.data)
+    indices: dict[float, E2LSHIndex] = {}
+    for gamma in scale.gammas:
+        params = params_for(name, dataset.n, gamma=gamma)
+        bank = bank_full.with_m(params.m)
+        projections = bank_full.select_projection_columns(projections_full, params.m)
+        indices[gamma] = E2LSHIndex(
+            dataset.data, params, ladder=ladder, bank=bank, projections=projections
+        )
+    return indices, bank_full, ladder
+
+
+@lru_cache(maxsize=None)
+def tuned_e2lsh(name: str, scale: ExperimentScale, k: int = 1) -> E2LSHSweep:
+    """Sweep gamma and tune in-memory E2LSH to the accuracy target."""
+    dataset = dataset_for(name, scale)
+    truth = ground_truth_for(name, scale)
+    indices, bank_full, ladder = _e2lsh_indices(name, scale)
+
+    def run_fn(gamma: float) -> MethodRun:
+        return _run_e2lsh_index(indices[gamma], dataset.queries, truth, k, gamma)
+
+    tuned = tune_to_ratio("e2lsh", run_fn, scale.gammas, scale.target_ratio)
+    return E2LSHSweep(tuned=tuned, indices=indices, bank_full=bank_full, ladder=ladder)
+
+
+# --------------------------------------------------------------------------
+# SRS / QALSH
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _srs_index(name: str, scale: ExperimentScale) -> SRSIndex:
+    dataset = dataset_for(name, scale)
+    return SRSIndex(dataset.data, seed=scale.seed)
+
+
+@lru_cache(maxsize=None)
+def tuned_srs(name: str, scale: ExperimentScale, k: int = 1) -> TunedMethod:
+    """Sweep T' (as fractions of n) and tune SRS to the accuracy target."""
+    dataset = dataset_for(name, scale)
+    truth = ground_truth_for(name, scale)
+    index = _srs_index(name, scale)
+
+    def run_fn(fraction: float) -> MethodRun:
+        t_prime = max(k, math.ceil(fraction * dataset.n))
+        answers = index.query_batch(dataset.queries, k=k, t_prime=t_prime)
+        ratio = overall_ratio([a.distances for a in answers], truth, k=k)
+        times = [MACHINE.compute_ns(a.stats.ops) for a in answers]
+        return MethodRun(
+            knob=fraction,
+            overall_ratio=ratio,
+            mean_time_ns=float(np.mean(times)),
+            stats=[a.stats for a in answers],
+            answers=answers,
+        )
+
+    return tune_to_ratio("srs", run_fn, scale.srs_fractions, scale.target_ratio)
+
+
+@lru_cache(maxsize=None)
+def tuned_qalsh(name: str, scale: ExperimentScale, k: int = 1) -> TunedMethod:
+    """Sweep the approximation ratio c and tune QALSH."""
+    dataset = dataset_for(name, scale)
+    truth = ground_truth_for(name, scale)
+    index = QALSHIndex(dataset.data, seed=scale.seed)
+
+    def run_fn(c: float) -> MethodRun:
+        answers = index.query_batch(dataset.queries, k=k, c=c)
+        ratio = overall_ratio([a.distances for a in answers], truth, k=k)
+        times = [MACHINE.compute_ns(a.stats.ops) for a in answers]
+        return MethodRun(
+            knob=c,
+            overall_ratio=ratio,
+            mean_time_ns=float(np.mean(times)),
+            stats=[a.stats for a in answers],
+            answers=answers,
+        )
+
+    return tune_to_ratio("qalsh", run_fn, scale.qalsh_cs, scale.target_ratio)
+
+
+# --------------------------------------------------------------------------
+# E2LSHoS
+# --------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=2)
+def built_e2lshos(
+    name: str, scale: ExperimentScale, gamma: float, block_size: int = 512, k: int = 1
+) -> E2LSHoSIndex:
+    """Build (once) the on-storage index for one (dataset, gamma).
+
+    Hash functions are shared with the in-memory sweep so answers (and
+    accuracy) match the tuned in-memory run.
+    """
+    dataset = dataset_for(name, scale)
+    sweep = tuned_e2lsh(name, scale, k=k)
+    params = params_for(name, dataset.n, gamma=gamma)
+    bank = sweep.bank_full.with_m(params.m)
+    return E2LSHoSIndex.build(
+        dataset.data,
+        params,
+        store=MemoryBlockStore(),
+        ladder=sweep.ladder,
+        block_size=block_size,
+        seed=scale.seed,
+        machine=MACHINE,
+        bank=bank,
+    )
+
+
+def run_e2lshos(
+    name: str,
+    scale: ExperimentScale,
+    gamma: float,
+    device: str,
+    count: int,
+    interface: str,
+    k: int = 1,
+    workers: int = 1,
+    block_size: int = 512,
+    repeat: int = 1,
+) -> BatchResult:
+    """Execute the tuned query set on one storage configuration.
+
+    ``repeat`` tiles the query set to deepen the asynchronous pipeline —
+    the paper streams many queries concurrently (Sec. 5.4), so
+    throughput-bound experiments pass repeat > 1 to keep the device
+    queues full.
+    """
+    index = built_e2lshos(name, scale, gamma, block_size=block_size, k=k)
+    dataset = dataset_for(name, scale)
+    queries = dataset.queries if repeat == 1 else np.tile(dataset.queries, (repeat, 1))
+    engine = AsyncIOEngine(
+        make_volume(device, count), INTERFACE_PROFILES[interface], index.built.store
+    )
+    return index.run(queries, engine, k=k, workers=workers)
+
+
+# --------------------------------------------------------------------------
+# Helpers
+# --------------------------------------------------------------------------
+
+
+def time_at_ratio(tuned: TunedMethod, ratio: float) -> float:
+    """Interpolated query time of a tuned method at a given accuracy.
+
+    Used to compare methods at equal accuracy levels (the x-axis of
+    Figures 4-8 and 11); clamps outside the swept range.
+    """
+    points = sorted((run.overall_ratio, run.mean_time_ns) for run in tuned.runs)
+    ratios = np.array([p[0] for p in points])
+    times = np.array([p[1] for p in points])
+    # Query time falls as the ratio (inaccuracy) grows.
+    return float(np.interp(ratio, ratios, times))
+
+
+@dataclass(frozen=True)
+class AvgStats:
+    """Per-query averages over a query set (Table 4's columns)."""
+
+    rungs_searched: float
+    buckets_probed: float
+    nonempty_buckets: float
+    candidates_checked: float
+    ios_issued: float
+
+    @property
+    def n_io_infinite_block(self) -> float:
+        """The paper's N_io,inf column: 2 x non-empty buckets probed."""
+        return 2.0 * self.nonempty_buckets
+
+
+def mean_stats(stats: list[QueryStats]) -> AvgStats:
+    """Average per-query statistics (drives Table 4 and Figures 3-8)."""
+    if not stats:
+        raise ValueError("no stats to average")
+    count = len(stats)
+    return AvgStats(
+        rungs_searched=sum(s.rungs_searched for s in stats) / count,
+        buckets_probed=sum(s.buckets_probed for s in stats) / count,
+        nonempty_buckets=sum(s.nonempty_buckets for s in stats) / count,
+        candidates_checked=sum(s.candidates_checked for s in stats) / count,
+        ios_issued=sum(s.ios_issued for s in stats) / count,
+    )

@@ -1,0 +1,61 @@
+"""Experiment scale presets.
+
+The paper runs datasets of 1M-1B objects; the pure-Python reproduction
+runs scaled-down analogs.  ``DEFAULT_SCALE`` is what ``pytest
+benchmarks/`` uses; ``SMALL_SCALE`` keeps unit/integration tests fast.
+All drivers accept the scale explicitly so users can push sizes up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExperimentScale", "SMALL_SCALE", "DEFAULT_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizes and knob grids for one experiment run."""
+
+    name: str
+    #: Database size for the seven standard datasets.
+    n: int
+    #: Database size for the BIGANN analog (the "large" dataset).
+    n_bigann: int
+    #: Queries per dataset.
+    n_queries: int
+    #: Accuracy target (the paper's default overall ratio).
+    target_ratio: float = 1.05
+    #: E2LSH gamma sweep, cheap/inaccurate -> expensive/accurate (each
+    #: gamma implies an S budget; see ``params_for``).
+    gammas: tuple[float, ...] = (1.3, 1.0, 0.8, 0.65, 0.5, 0.4)
+    #: SRS T' sweep expressed as fractions of n (SRS scales T' with n).
+    srs_fractions: tuple[float, ...] = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.06, 0.15)
+    #: QALSH approximation-ratio sweep, cheap -> accurate.
+    qalsh_cs: tuple[float, ...] = (3.0, 2.0, 1.5, 1.2)
+    #: Subset sizes (fractions of n_bigann) for the Figure 14 sweep.
+    sublinearity_fractions: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0)
+    #: Datasets included at this scale.
+    datasets: tuple[str, ...] = (
+        "msong", "sift", "gist", "rand", "glove", "gauss", "mnist", "bigann",
+    )
+    seed: int = 7
+
+
+SMALL_SCALE = ExperimentScale(
+    name="small",
+    n=2_500,
+    n_bigann=6_000,
+    n_queries=12,
+    gammas=(1.2, 0.8, 0.5),
+    srs_fractions=(0.004, 0.02, 0.08),
+    qalsh_cs=(2.5, 1.7),
+    datasets=("sift", "rand"),
+)
+
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    n=20_000,
+    n_bigann=60_000,
+    n_queries=40,
+)

@@ -1,0 +1,68 @@
+"""Figure 2: in-memory E2LSH speedup over SRS and QALSH.
+
+All three methods run in memory, tuned to the same overall-ratio target;
+the speedup is the query-time ratio.  The paper's Observation 1: E2LSH's
+computational cost is much lower, often by 1-2 orders of magnitude, and
+SRS is consistently faster than QALSH.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import tuned_e2lsh, tuned_qalsh, tuned_srs
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Fig2Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """Speedups for one dataset at the accuracy target."""
+
+    dataset: str
+    e2lsh_ms: float
+    srs_ms: float
+    qalsh_ms: float
+    speedup_vs_srs: float
+    speedup_vs_qalsh: float
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE, k: int = 1) -> list[Fig2Row]:
+    """Tune all three methods per dataset and compute speedups."""
+    rows = []
+    for name in scale.datasets:
+        e2lsh = tuned_e2lsh(name, scale, k=k).tuned.selected
+        srs = tuned_srs(name, scale, k=k).selected
+        qalsh = tuned_qalsh(name, scale, k=k).selected
+        rows.append(
+            Fig2Row(
+                dataset=name,
+                e2lsh_ms=e2lsh.mean_time_ns / 1e6,
+                srs_ms=srs.mean_time_ns / 1e6,
+                qalsh_ms=qalsh.mean_time_ns / 1e6,
+                speedup_vs_srs=srs.mean_time_ns / e2lsh.mean_time_ns,
+                speedup_vs_qalsh=qalsh.mean_time_ns / e2lsh.mean_time_ns,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Fig2Row]) -> str:
+    """Render per-dataset speedups."""
+    return render_table(
+        ["dataset", "E2LSH ms", "SRS ms", "QALSH ms", "speedup/SRS", "speedup/QALSH"],
+        [
+            (
+                r.dataset,
+                f"{r.e2lsh_ms:.3f}",
+                f"{r.srs_ms:.3f}",
+                f"{r.qalsh_ms:.3f}",
+                f"{r.speedup_vs_srs:.1f}x",
+                f"{r.speedup_vs_qalsh:.1f}x",
+            )
+            for r in rows
+        ],
+        title="Figure 2: in-memory E2LSH speedups at the accuracy target",
+    )

@@ -1,0 +1,59 @@
+"""Figure 3: I/Os per query vs accuracy for varying read block size.
+
+Computed from the in-memory E2LSH gamma sweep exactly as in Sec. 4.3:
+every swept accuracy level contributes its average I/O count under block
+sizes B in {128, 512, 4096, inf}.  Expected shape: more I/Os at higher
+accuracy (smaller ratio) and at smaller block sizes; B = 512 close to
+B = inf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.requirements import average_n_io
+from repro.experiments.common import tuned_e2lsh
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Fig3Row", "BLOCK_SIZES", "run", "format_table"]
+
+#: Block sizes swept by the paper (None = unbounded, "B = inf").
+BLOCK_SIZES: tuple[int | None, ...] = (128, 512, 4096, None)
+
+
+@dataclass(frozen=True)
+class Fig3Row:
+    """Average I/O count at one (accuracy, block size) point."""
+
+    overall_ratio: float
+    block_size: int | None
+    n_io: float
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE, dataset: str = "sift") -> list[Fig3Row]:
+    """Sweep accuracy (via gamma) and block size for one dataset."""
+    sweep = tuned_e2lsh(dataset, scale, k=1)
+    rows = []
+    for method_run in sweep.tuned.runs:
+        for block_size in BLOCK_SIZES:
+            rows.append(
+                Fig3Row(
+                    overall_ratio=method_run.overall_ratio,
+                    block_size=block_size,
+                    n_io=average_n_io(method_run.stats, block_size),
+                )
+            )
+    return rows
+
+
+def format_table(rows: list[Fig3Row]) -> str:
+    """Render the I/O count grid."""
+    return render_table(
+        ["overall ratio", "block size", "avg I/Os per query"],
+        [
+            (f"{r.overall_ratio:.4f}", "inf" if r.block_size is None else r.block_size, f"{r.n_io:.1f}")
+            for r in rows
+        ],
+        title="Figure 3: I/Os per query vs accuracy and block size",
+    )

@@ -1,0 +1,153 @@
+"""Figures 4-8: storage performance requirements.
+
+All five figures share one recipe (Sec. 4.4-4.5): take the E2LSH gamma
+sweep, and for each swept accuracy level combine
+
+- ``N_io`` — the average I/O count of an external-memory execution at
+  that accuracy (block-size dependent, from the in-memory run's bucket
+  occupancies), with
+- ``T_target`` — the query time to match at the *same* accuracy
+  (interpolated from the SRS sweep for Figures 4-6, from the in-memory
+  E2LSH sweep itself for Figures 7-8), and
+- ``T_compute`` — E2LSHoS's own compute time (0.9 x the in-memory E2LSH
+  time, per the paper's footprint-stall measurement).
+
+into the Eq. 10/11 requirements.
+
+- Figure 4: SIFT, requirement vs accuracy for each block size.
+- Figure 5: all datasets at B = 512.
+- Figure 6: SIFT for k in {1, 5, 10, 50, 100}.
+- Figure 7: like 5 but targeting in-memory E2LSH speed.
+- Figure 8: like 6 but targeting in-memory E2LSH speed.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.requirements import (
+    INMEMORY_COMPUTE_FRACTION,
+    RequirementCurve,
+    average_n_io,
+    requirement_curve,
+)
+from repro.eval.harness import TunedMethod
+from repro.experiments.common import time_at_ratio, tuned_e2lsh, tuned_srs
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = [
+    "srs_requirement_curve",
+    "inmemory_requirement_curve",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "format_curves",
+]
+
+
+def _curve(
+    label: str,
+    e2lsh_runs,
+    block_size: int | None,
+    target_of_ratio,
+) -> RequirementCurve:
+    ratios, n_ios, targets, computes = [], [], [], []
+    for run in e2lsh_runs:
+        ratios.append(run.overall_ratio)
+        n_ios.append(average_n_io(run.stats, block_size))
+        targets.append(target_of_ratio(run.overall_ratio))
+        # T_compute = 0.9 * T_E2LSH (Sec. 4.5); run.mean_time_ns already
+        # includes the footprint stall, so this is the stall-free time.
+        computes.append(run.mean_time_ns * INMEMORY_COMPUTE_FRACTION)
+    return requirement_curve(label, ratios, n_ios, targets, computes)
+
+
+def srs_requirement_curve(
+    name: str,
+    scale: ExperimentScale,
+    k: int = 1,
+    block_size: int | None = 512,
+) -> RequirementCurve:
+    """Requirements for E2LSHoS to match in-memory SRS (Eqs. 12-13)."""
+    e2lsh = tuned_e2lsh(name, scale, k=k).tuned
+    srs = tuned_srs(name, scale, k=k)
+    return _curve(
+        f"{name}/B={block_size or 'inf'}/k={k}",
+        e2lsh.runs,
+        block_size,
+        lambda ratio: time_at_ratio(srs, ratio),
+    )
+
+
+def inmemory_requirement_curve(
+    name: str,
+    scale: ExperimentScale,
+    k: int = 1,
+    block_size: int | None = 512,
+) -> RequirementCurve:
+    """Requirements to match in-memory E2LSH (Eqs. 14-16)."""
+    e2lsh = tuned_e2lsh(name, scale, k=k).tuned
+    return _curve(
+        f"{name}/inmem/B={block_size or 'inf'}/k={k}",
+        e2lsh.runs,
+        block_size,
+        lambda ratio: time_at_ratio(e2lsh, ratio),
+    )
+
+
+def fig4(scale: ExperimentScale = DEFAULT_SCALE, dataset: str = "sift") -> list[RequirementCurve]:
+    """One curve per block size for one dataset (SRS target)."""
+    return [
+        srs_requirement_curve(dataset, scale, block_size=block_size)
+        for block_size in (128, 512, 4096, None)
+    ]
+
+
+def fig5(scale: ExperimentScale = DEFAULT_SCALE) -> list[RequirementCurve]:
+    """One curve per dataset at B = 512 (SRS target)."""
+    return [srs_requirement_curve(name, scale) for name in scale.datasets]
+
+
+def fig6(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "sift",
+    ks: tuple[int, ...] = (1, 5, 10, 50, 100),
+) -> list[RequirementCurve]:
+    """One curve per k for one dataset (SRS target)."""
+    return [srs_requirement_curve(dataset, scale, k=k) for k in ks]
+
+
+def fig7(scale: ExperimentScale = DEFAULT_SCALE) -> list[RequirementCurve]:
+    """One curve per dataset at B = 512 (in-memory E2LSH target)."""
+    return [inmemory_requirement_curve(name, scale) for name in scale.datasets]
+
+
+def fig8(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "sift",
+    ks: tuple[int, ...] = (1, 5, 10, 50, 100),
+) -> list[RequirementCurve]:
+    """One curve per k for one dataset (in-memory E2LSH target)."""
+    return [inmemory_requirement_curve(dataset, scale, k=k) for k in ks]
+
+
+def format_curves(curves: list[RequirementCurve], title: str) -> str:
+    """Render requirement curves as (ratio, kIOPS, request rate) rows."""
+    rows = []
+    for curve in curves:
+        for point in curve.points:
+            rows.append(
+                (
+                    curve.label,
+                    f"{point.overall_ratio:.4f}",
+                    f"{point.n_io:.1f}",
+                    f"{point.read_iops / 1e3:.1f}",
+                    "inf" if point.request_rate == float("inf") else f"{point.request_rate / 1e3:.1f}",
+                )
+            )
+    return render_table(
+        ["curve", "ratio", "N_io", "required kIOPS", "required kreq/s"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,114 @@
+"""Figure 11: speedup over SRS for different storage configurations.
+
+Six groups, bottom to top (the paper's Sec. 6.1):
+
+1. cSSD x 1 (either interface) — capped by the single drive's IOPS,
+2. {cSSD x 4, eSSD x 1, eSSD x 8} with io_uring — capped by io_uring's
+   per-request CPU cost,
+3. cSSD x 4 with SPDK,
+4. eSSD x {1, 8} with SPDK,
+5. in-memory E2LSH,
+6. XLFDD x 12 with the XLFDD interface — reaches (and can exceed)
+   in-memory speed.
+
+Each configuration runs the tuned E2LSHoS query set through the engine
+at every swept accuracy level; speedups are computed against the SRS
+time at the same accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import run_e2lshos, time_at_ratio, tuned_e2lsh, tuned_srs
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["ConfigPoint", "CONFIG_GROUPS", "run", "format_table", "group_mean_speedups"]
+
+#: (group number, label, device, count, interface); group 5 is in-memory.
+CONFIG_GROUPS: tuple[tuple[int, str, str, int, str], ...] = (
+    (1, "cssd_x1/io_uring", "cssd", 1, "io_uring"),
+    (1, "cssd_x1/spdk", "cssd", 1, "spdk"),
+    (2, "cssd_x4/io_uring", "cssd", 4, "io_uring"),
+    (2, "essd_x1/io_uring", "essd", 1, "io_uring"),
+    (2, "essd_x8/io_uring", "essd", 8, "io_uring"),
+    (3, "cssd_x4/spdk", "cssd", 4, "spdk"),
+    (4, "essd_x1/spdk", "essd", 1, "spdk"),
+    (4, "essd_x8/spdk", "essd", 8, "spdk"),
+    (6, "xlfdd_x12/xlfdd", "xlfdd", 12, "xlfdd"),
+)
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """Speedup of one configuration at one accuracy level."""
+
+    group: int
+    label: str
+    overall_ratio: float
+    query_time_ms: float
+    speedup_over_srs: float
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "sift",
+    k: int = 1,
+) -> list[ConfigPoint]:
+    """Evaluate every configuration at every swept accuracy level."""
+    sweep = tuned_e2lsh(dataset, scale, k=k)
+    srs = tuned_srs(dataset, scale, k=k)
+    points = []
+    for method_run in sweep.tuned.runs:
+        ratio = method_run.overall_ratio
+        srs_ns = time_at_ratio(srs, ratio)
+        # Group 5: in-memory E2LSH at this accuracy.
+        points.append(
+            ConfigPoint(
+                group=5,
+                label="in-memory",
+                overall_ratio=ratio,
+                query_time_ms=method_run.mean_time_ns / 1e6,
+                speedup_over_srs=srs_ns / method_run.mean_time_ns,
+            )
+        )
+        for group, label, device, count, interface in CONFIG_GROUPS:
+            result = run_e2lshos(
+                dataset, scale, method_run.knob, device, count, interface, k=k, repeat=4
+            )
+            points.append(
+                ConfigPoint(
+                    group=group,
+                    label=label,
+                    overall_ratio=ratio,
+                    query_time_ms=result.mean_query_time_ns / 1e6,
+                    speedup_over_srs=srs_ns / result.mean_query_time_ns,
+                )
+            )
+    return points
+
+
+def group_mean_speedups(points: list[ConfigPoint]) -> dict[int, float]:
+    """Geometric-mean speedup per group (the paper plots one line each)."""
+    import math
+
+    by_group: dict[int, list[float]] = {}
+    for point in points:
+        by_group.setdefault(point.group, []).append(point.speedup_over_srs)
+    return {
+        group: math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        for group, speedups in sorted(by_group.items())
+    }
+
+
+def format_table(points: list[ConfigPoint]) -> str:
+    """Render all configuration points."""
+    return render_table(
+        ["group", "config", "ratio", "query ms", "speedup/SRS"],
+        [
+            (p.group, p.label, f"{p.overall_ratio:.4f}", f"{p.query_time_ms:.3f}", f"{p.speedup_over_srs:.1f}x")
+            for p in sorted(points, key=lambda p: (p.group, p.label, p.overall_ratio))
+        ],
+        title="Figure 11: speedup over SRS by storage configuration",
+    )

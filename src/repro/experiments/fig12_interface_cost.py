@@ -1,0 +1,71 @@
+"""Figure 12: I/O cost vs computation per storage interface.
+
+The paper decomposes the SIFT query time into "I/O Cost" (CPU time in
+I/O-related functions) and "Computation" on eSSD x 8 (so IOPS never
+limits) under io_uring, SPDK, and the XLFDD interface, next to the
+in-memory execution.  The I/O CPU component shrinks by the interface
+overhead ratio; compute stays put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import run_e2lshos, tuned_e2lsh
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Fig12Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """Per-query cost decomposition for one execution mode."""
+
+    mode: str
+    io_cost_ms: float
+    compute_ms: float
+
+    @property
+    def total_ms(self) -> float:
+        """Total CPU-side query cost."""
+        return self.io_cost_ms + self.compute_ms
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "sift",
+    k: int = 1,
+) -> list[Fig12Row]:
+    """Decompose the tuned query's cost per interface."""
+    sweep = tuned_e2lsh(dataset, scale, k=k)
+    selected = sweep.tuned.selected
+    rows = [
+        Fig12Row(
+            mode="in-memory",
+            io_cost_ms=0.0,
+            compute_ms=selected.mean_time_ns / 1e6,
+        )
+    ]
+    for interface in ("io_uring", "spdk", "xlfdd"):
+        device = "xlfdd" if interface == "xlfdd" else "essd"
+        count = 12 if interface == "xlfdd" else 8
+        result = run_e2lshos(dataset, scale, selected.knob, device, count, interface, k=k)
+        n_queries = len(result.answers)
+        rows.append(
+            Fig12Row(
+                mode=interface,
+                io_cost_ms=result.engine.io_cpu_ns / n_queries / 1e6,
+                compute_ms=result.engine.compute_ns / n_queries / 1e6,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Fig12Row]) -> str:
+    """Render the decomposition."""
+    return render_table(
+        ["mode", "I/O cost ms", "computation ms", "total ms"],
+        [(r.mode, f"{r.io_cost_ms:.4f}", f"{r.compute_ms:.4f}", f"{r.total_ms:.4f}") for r in rows],
+        title="Figure 12: per-query CPU cost decomposition by interface",
+    )

@@ -1,0 +1,91 @@
+"""Figure 13: speedups over SRS for all datasets, k = 1 and k = 100.
+
+Four executions per dataset, all tuned to the same accuracy target:
+in-memory E2LSH, and E2LSHoS under io_uring (cSSD x 4), SPDK (cSSD x 4)
+and the XLFDD interface (XLFDD x 12).  The expected shape: E2LSHoS beats
+SRS everywhere, the gap is largest on the biggest dataset, and faster
+interfaces approach (or pass) the in-memory speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import run_e2lshos, tuned_e2lsh, tuned_srs
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Fig13Row", "run", "format_table"]
+
+#: (label, device, count, interface) for the three E2LSHoS executions.
+MODES: tuple[tuple[str, str, int, str], ...] = (
+    ("io_uring", "cssd", 4, "io_uring"),
+    ("spdk", "cssd", 4, "spdk"),
+    ("xlfdd", "xlfdd", 12, "xlfdd"),
+)
+
+
+@dataclass(frozen=True)
+class Fig13Row:
+    """Speedups over SRS for one (dataset, k)."""
+
+    dataset: str
+    k: int
+    srs_ms: float
+    inmemory_speedup: float
+    io_uring_speedup: float
+    spdk_speedup: float
+    xlfdd_speedup: float
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    ks: tuple[int, ...] = (1, 100),
+) -> list[Fig13Row]:
+    """Measure every dataset at every k."""
+    rows = []
+    for name in scale.datasets:
+        for k in ks:
+            sweep = tuned_e2lsh(name, scale, k=k)
+            selected = sweep.tuned.selected
+            srs_ns = tuned_srs(name, scale, k=k).selected.mean_time_ns
+            speedups = {}
+            for label, device, count, interface in MODES:
+                # repeat=8: the paper streams queries, so throughput (not
+                # one query's latency-bound critical path) is measured.
+                result = run_e2lshos(
+                    name, scale, selected.knob, device, count, interface, k=k, repeat=8
+                )
+                speedups[label] = srs_ns / result.mean_query_time_ns
+            rows.append(
+                Fig13Row(
+                    dataset=name,
+                    k=k,
+                    srs_ms=srs_ns / 1e6,
+                    inmemory_speedup=srs_ns / selected.mean_time_ns,
+                    io_uring_speedup=speedups["io_uring"],
+                    spdk_speedup=speedups["spdk"],
+                    xlfdd_speedup=speedups["xlfdd"],
+                )
+            )
+    return rows
+
+
+def format_table(rows: list[Fig13Row]) -> str:
+    """Render speedups over SRS."""
+    return render_table(
+        ["dataset", "k", "SRS ms", "in-mem", "io_uring", "SPDK", "XLFDD"],
+        [
+            (
+                r.dataset,
+                r.k,
+                f"{r.srs_ms:.3f}",
+                f"{r.inmemory_speedup:.1f}x",
+                f"{r.io_uring_speedup:.1f}x",
+                f"{r.spdk_speedup:.1f}x",
+                f"{r.xlfdd_speedup:.1f}x",
+            )
+            for r in rows
+        ],
+        title="Figure 13: speedups over SRS (all datasets)",
+    )

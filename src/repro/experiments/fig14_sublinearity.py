@@ -1,0 +1,179 @@
+"""Figure 14: query time vs database size (sublinearity validation).
+
+Increasing subsets of the BIGANN analog are indexed and queried by:
+
+- SRS (tuned T' fraction, so T' grows linearly with n),
+- E2LSHoS on XLFDD x 12,
+- in-memory E2LSH with the same parameters, and
+- in-memory E2LSH with an extremely small rho (the paper uses 0.09),
+  which shrinks the index enough to stay in DRAM at any size but must
+  compensate with a huge candidate budget, blowing up the query time.
+
+Expected shape: SRS grows linearly; E2LSH(oS) grows sublinearly (fitted
+log-log slope < 1) and E2LSHoS tracks in-memory E2LSH; small-rho E2LSH
+is far slower at large n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.e2lshos import E2LSHoSIndex
+from repro.core.params import E2LSHParams
+from repro.core.radii import RadiusLadder
+from repro.datasets.registry import DATASET_SPECS
+from repro.eval.ground_truth import exact_knn
+from repro.eval.harness import MethodRun, tune_to_ratio
+from repro.eval.ratio import overall_ratio
+from repro.experiments.common import MACHINE, dataset_for, tuned_e2lsh, tuned_srs
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+from repro.baselines.srs import SRSIndex
+from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine
+from repro.storage.profiles import INTERFACE_PROFILES, make_volume
+
+__all__ = ["Fig14Row", "run", "format_table", "fitted_exponent", "SMALL_RHO"]
+
+#: The paper's deliberately-too-small index exponent.
+SMALL_RHO = 0.09
+
+
+@dataclass(frozen=True)
+class Fig14Row:
+    """Query times at one database size."""
+
+    n: int
+    srs_ms: float
+    e2lshos_ms: float
+    inmemory_ms: float
+    small_rho_ms: float
+    e2lshos_ratio: float
+
+
+def _small_rho_time(
+    data: np.ndarray, queries: np.ndarray, truth, name: str, gamma: float, seed: int,
+    target_ratio: float,
+) -> float:
+    """In-memory E2LSH at rho = 0.09, tuning the candidate budget S.
+
+    With L = n^0.09 buckets barely anything collides reliably; the
+    accuracy target is only reachable by checking many more candidates
+    per rung (larger S), which is where the time blows up.
+    """
+    ladder = RadiusLadder.for_data(data, 2.0)
+
+    def run_fn(s_factor: float) -> MethodRun:
+        params = E2LSHParams(
+            n=data.shape[0], rho=SMALL_RHO, gamma=min(gamma, 0.6), s_factor=s_factor
+        )
+        index = E2LSHIndex(data, params, ladder=ladder, seed=seed)
+        answers = index.query_batch(queries, k=1)
+        ratio = overall_ratio([a.distances for a in answers], truth, k=1)
+        times = [MACHINE.inmemory_e2lsh_ns(a.stats.ops) for a in answers]
+        return MethodRun(knob=s_factor, overall_ratio=ratio, mean_time_ns=float(np.mean(times)))
+
+    tuned = tune_to_ratio("e2lsh-small-rho", run_fn, (20.0, 100.0, 400.0, 1500.0), target_ratio)
+    return tuned.selected.mean_time_ns
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "bigann",
+    include_small_rho: bool = True,
+) -> list[Fig14Row]:
+    """Sweep database subsets and time every method."""
+    full = dataset_for(dataset, scale)
+    spec = DATASET_SPECS[dataset]
+    sweep = tuned_e2lsh(dataset, scale, k=1)
+    gamma = sweep.tuned.selected.knob
+    srs_fraction = tuned_srs(dataset, scale, k=1).selected.knob
+    ladder = sweep.ladder
+
+    rows = []
+    for fraction in scale.sublinearity_fractions:
+        n = max(1_000, int(full.n * fraction))
+        data = full.data[:n]
+        truth = exact_knn(data, full.queries, k=1)
+
+        params = E2LSHParams(n=n, rho=spec.rho, gamma=gamma)
+        inmem = E2LSHIndex(data, params, ladder=ladder, seed=scale.seed)
+        answers = inmem.query_batch(full.queries, k=1)
+        inmem_ns = float(np.mean([MACHINE.inmemory_e2lsh_ns(a.stats.ops) for a in answers]))
+
+        storage = E2LSHoSIndex.build(
+            data, params, store=MemoryBlockStore(), ladder=ladder,
+            seed=scale.seed, machine=MACHINE, bank=inmem.bank,
+        )
+        engine = AsyncIOEngine(
+            make_volume("xlfdd", 12), INTERFACE_PROFILES["xlfdd"], storage.built.store
+        )
+        # Tile the query stream so throughput, not a single query's
+        # latency-bound critical path, is measured (Sec. 5.4).
+        result = storage.run(np.tile(full.queries, (4, 1)), engine, k=1)
+        e2lshos_ratio = overall_ratio(
+            [a.distances for a in result.answers[: full.queries.shape[0]]], truth, k=1
+        )
+
+        srs = SRSIndex(data, seed=scale.seed)
+        t_prime = max(1, int(np.ceil(srs_fraction * n)))
+        srs_answers = srs.query_batch(full.queries, k=1, t_prime=t_prime)
+        srs_ns = float(np.mean([MACHINE.compute_ns(a.stats.ops) for a in srs_answers]))
+
+        small_rho_ns = (
+            _small_rho_time(
+                data, full.queries, truth, dataset, gamma, scale.seed, scale.target_ratio
+            )
+            if include_small_rho
+            else float("nan")
+        )
+
+        rows.append(
+            Fig14Row(
+                n=n,
+                srs_ms=srs_ns / 1e6,
+                e2lshos_ms=result.mean_query_time_ns / 1e6,
+                inmemory_ms=inmem_ns / 1e6,
+                small_rho_ms=small_rho_ns / 1e6,
+                e2lshos_ratio=e2lshos_ratio,
+            )
+        )
+    return rows
+
+
+def fitted_exponent(sizes: list[int], times_ms: list[float]) -> float:
+    """Least-squares slope of log(time) vs log(n) — 1.0 means linear."""
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit an exponent")
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(times_ms, dtype=float))
+    slope, _ = np.polyfit(x, y, 1)
+    return float(slope)
+
+
+def format_table(rows: list[Fig14Row]) -> str:
+    """Render query times per database size, with fitted exponents."""
+    body = render_table(
+        ["n", "SRS ms", "E2LSHoS(XLFDD) ms", "in-memory ms", "small-rho ms", "E2LSHoS ratio"],
+        [
+            (
+                r.n,
+                f"{r.srs_ms:.3f}",
+                f"{r.e2lshos_ms:.3f}",
+                f"{r.inmemory_ms:.3f}",
+                f"{r.small_rho_ms:.3f}",
+                f"{r.e2lshos_ratio:.4f}",
+            )
+            for r in rows
+        ],
+        title="Figure 14: query time vs database size",
+    )
+    sizes = [r.n for r in rows]
+    footer = (
+        f"\nfitted exponents: SRS={fitted_exponent(sizes, [r.srs_ms for r in rows]):.2f}, "
+        f"E2LSHoS={fitted_exponent(sizes, [r.e2lshos_ms for r in rows]):.2f}"
+    )
+    return body + footer

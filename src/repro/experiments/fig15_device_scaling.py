@@ -1,0 +1,73 @@
+"""Figure 15: query speed and device statistics vs number of devices.
+
+Varying the number of cSSDs shows that query speed is proportional to
+the delivered IOPS until the devices can sustain more than the workload
+demands; near saturation the per-request latency inflates but, as the
+paper stresses, latency by itself does not determine throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import dataset_for, run_e2lshos, tuned_e2lsh
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+from repro.storage.profiles import DEVICE_PROFILES
+
+__all__ = ["Fig15Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Fig15Row:
+    """Statistics at one device count."""
+
+    devices: int
+    queries_per_second: float
+    observed_kiops: float
+    mean_latency_us: float
+    device_usage: float
+
+
+def run(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    dataset: str = "sift",
+    device_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    k: int = 1,
+) -> list[Fig15Row]:
+    """Sweep the cSSD count for the tuned workload."""
+    gamma = tuned_e2lsh(dataset, scale, k=k).tuned.selected.knob
+    dataset_for(dataset, scale)  # warm the cache alongside the index
+    max_iops = DEVICE_PROFILES["cssd"].max_iops
+    rows = []
+    for count in device_counts:
+        result = run_e2lshos(dataset, scale, gamma, "cssd", count, "io_uring", k=k, repeat=6)
+        stats = result.engine.device_stats
+        rows.append(
+            Fig15Row(
+                devices=count,
+                queries_per_second=result.queries_per_second,
+                observed_kiops=stats.observed_iops() / 1e3,
+                mean_latency_us=stats.mean_latency_ns / 1e3,
+                device_usage=stats.observed_iops() / (count * max_iops),
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Fig15Row]) -> str:
+    """Render the device-scaling sweep."""
+    return render_table(
+        ["devices", "queries/s", "observed kIOPS", "mean latency us", "device usage"],
+        [
+            (
+                r.devices,
+                f"{r.queries_per_second:.0f}",
+                f"{r.observed_kiops:.0f}",
+                f"{r.mean_latency_us:.0f}",
+                f"{r.device_usage:.0%}",
+            )
+            for r in rows
+        ],
+        title="Figure 15: query speed and device statistics vs device count",
+    )

@@ -1,0 +1,69 @@
+"""Table 1: datasets and their hardness statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.metrics import local_intrinsic_dimensionality, relative_contrast
+from repro.datasets.registry import DATASET_SPECS
+from repro.experiments.common import dataset_for
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Table1Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One dataset row: our analog vs the paper's reference values."""
+
+    name: str
+    n: int
+    d: int
+    value_type: str
+    rc: float
+    lid: float
+    paper_rc: float
+    paper_lid: float
+    paper_d: int
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> list[Table1Row]:
+    """Measure RC / LID for every dataset analog at this scale."""
+    rows = []
+    for name in scale.datasets:
+        spec = DATASET_SPECS[name]
+        dataset = dataset_for(name, scale)
+        rows.append(
+            Table1Row(
+                name=name,
+                n=dataset.n,
+                d=dataset.d,
+                value_type=dataset.value_type,
+                rc=relative_contrast(dataset.data, dataset.queries),
+                lid=local_intrinsic_dimensionality(dataset.data, dataset.queries),
+                paper_rc=spec.paper_rc,
+                paper_lid=spec.paper_lid,
+                paper_d=spec.paper_d,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Table1Row]) -> str:
+    """Render the reproduction next to the paper's Table 1."""
+    return render_table(
+        ["dataset", "n", "d (paper)", "type", "RC (paper)", "LID (paper)"],
+        [
+            (
+                r.name,
+                r.n,
+                f"{r.d} ({r.paper_d})",
+                r.value_type,
+                f"{r.rc:.2f} ({r.paper_rc})",
+                f"{r.lid:.1f} ({r.paper_lid})",
+            )
+            for r in rows
+        ],
+        title="Table 1: dataset analogs (paper reference in parentheses)",
+    )

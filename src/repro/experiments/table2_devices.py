@@ -1,0 +1,98 @@
+"""Table 2: storage devices and their random read performance.
+
+For each device profile we *simulate* a closed-loop random-read
+benchmark at queue depths 1 and 128 (a fixed number of outstanding
+requests; each completion immediately triggers the next submission) and
+compare the observed throughput with the paper's measurements the
+profile was calibrated from.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import DEVICE_PROFILES
+from repro.experiments.tables import render_table
+from repro.utils.units import NS_PER_S
+
+__all__ = ["Table2Row", "measure_device_iops", "run", "format_table"]
+
+#: Paper Table 2 reference (kIOPS at queue depths 1 and 128).
+PAPER_KIOPS = {
+    "cssd": (7.2, 273.0),
+    "essd": (27.6, 1400.0),
+    "xlfdd": (132.3, 3860.0),
+    "hdd": (0.21, 0.54),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Simulated vs paper throughput for one device."""
+
+    device: str
+    qd1_kiops: float
+    qd128_kiops: float
+    paper_qd1_kiops: float
+    paper_qd128_kiops: float
+
+
+def measure_device_iops(
+    device_name: str,
+    queue_depth: int,
+    n_requests: int = 4_000,
+    read_size: int = 512,
+) -> float:
+    """Closed-loop random-read throughput of the simulated device."""
+    device = StorageDevice(DEVICE_PROFILES[device_name])
+    # Min-heap of completion times of outstanding requests.
+    outstanding: list[float] = []
+    submitted = 0
+    now = 0.0
+    first_submit = 0.0
+    last_completion = 0.0
+    while submitted < n_requests or outstanding:
+        while submitted < n_requests and len(outstanding) < queue_depth:
+            heapq.heappush(outstanding, device.submit(now, read_size))
+            submitted += 1
+        completion = heapq.heappop(outstanding)
+        last_completion = max(last_completion, completion)
+        now = completion
+    window = last_completion - first_submit
+    return n_requests * NS_PER_S / window if window > 0 else 0.0
+
+
+def run(devices: tuple[str, ...] = ("cssd", "essd", "xlfdd", "hdd")) -> list[Table2Row]:
+    """Measure all devices at queue depths 1 and 128."""
+    rows = []
+    for name in devices:
+        paper_qd1, paper_qd128 = PAPER_KIOPS[name]
+        n_requests = 4_000 if name != "hdd" else 400
+        rows.append(
+            Table2Row(
+                device=name,
+                qd1_kiops=measure_device_iops(name, 1, n_requests) / 1e3,
+                qd128_kiops=measure_device_iops(name, 128, n_requests) / 1e3,
+                paper_qd1_kiops=paper_qd1,
+                paper_qd128_kiops=paper_qd128,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Table2Row]) -> str:
+    """Render simulated vs paper kIOPS."""
+    return render_table(
+        ["device", "QD1 kIOPS (paper)", "QD128 kIOPS (paper)"],
+        [
+            (
+                r.device,
+                f"{r.qd1_kiops:.3g} ({r.paper_qd1_kiops})",
+                f"{r.qd128_kiops:.4g} ({r.paper_qd128_kiops})",
+            )
+            for r in rows
+        ],
+        title="Table 2: simulated random-read performance (paper in parentheses)",
+    )

@@ -1,0 +1,61 @@
+"""Table 3: storage interfaces and their CPU overhead."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.profiles import INTERFACE_PROFILES
+from repro.experiments.tables import render_table
+
+__all__ = ["Table3Row", "run", "format_table"]
+
+#: Paper Table 3 reference: (CPU ns per I/O, max MIOPS per core).
+PAPER_INTERFACES = {
+    "io_uring": (1_000.0, 1.0),
+    "spdk": (350.0, 2.9),
+    "xlfdd": (50.0, 20.0),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """CPU cost of one interface."""
+
+    interface: str
+    cpu_ns_per_io: float
+    max_miops_per_core: float
+    paper_cpu_ns: float
+    paper_max_miops: float
+
+
+def run() -> list[Table3Row]:
+    """Report each asynchronous interface's per-I/O CPU cost."""
+    rows = []
+    for name, (paper_ns, paper_miops) in PAPER_INTERFACES.items():
+        profile = INTERFACE_PROFILES[name]
+        rows.append(
+            Table3Row(
+                interface=name,
+                cpu_ns_per_io=profile.cpu_overhead_ns,
+                max_miops_per_core=profile.max_iops_per_core / 1e6,
+                paper_cpu_ns=paper_ns,
+                paper_max_miops=paper_miops,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Table3Row]) -> str:
+    """Render the interface overhead table."""
+    return render_table(
+        ["interface", "CPU ns/IO (paper)", "max MIOPS/core (paper)"],
+        [
+            (
+                r.interface,
+                f"{r.cpu_ns_per_io:.0f} ({r.paper_cpu_ns:.0f})",
+                f"{r.max_miops_per_core:.1f} ({r.paper_max_miops})",
+            )
+            for r in rows
+        ],
+        title="Table 3: storage interface CPU overhead",
+    )

@@ -1,0 +1,77 @@
+"""Table 4: average number of hash bucket reads per query.
+
+Per dataset: the number of compound hashes L, the ladder length r, the
+average searched radii r-bar, and the conservative I/O count N_io,inf
+(one hash-table read + one bucket read per non-empty bucket probed),
+all measured by running the tuned in-memory E2LSH — exactly the paper's
+methodology (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.registry import DATASET_SPECS
+from repro.experiments.common import dataset_for, mean_stats, params_for, tuned_e2lsh
+from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
+from repro.experiments.tables import render_table
+
+__all__ = ["Table4Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """Table 4 columns for one dataset (with the paper's reference)."""
+
+    dataset: str
+    L: int
+    total_radii: int
+    avg_radii: float
+    n_io_inf: float
+    paper_l: int
+    paper_total_radii: int
+    paper_avg_radii: float
+    paper_n_io_inf: float
+
+
+def run(scale: ExperimentScale = DEFAULT_SCALE) -> list[Table4Row]:
+    """Measure the Table 4 columns for every dataset."""
+    rows = []
+    for name in scale.datasets:
+        spec = DATASET_SPECS[name]
+        dataset = dataset_for(name, scale)
+        sweep = tuned_e2lsh(name, scale, k=1)
+        selected = sweep.tuned.selected
+        avg = mean_stats(selected.stats)
+        rows.append(
+            Table4Row(
+                dataset=name,
+                L=params_for(name, dataset.n).L,
+                total_radii=sweep.ladder.rungs,
+                avg_radii=avg.rungs_searched,
+                n_io_inf=avg.n_io_infinite_block,
+                paper_l=spec.paper_l,
+                paper_total_radii=spec.paper_total_radii,
+                paper_avg_radii=spec.paper_avg_radii,
+                paper_n_io_inf=spec.paper_n_io_inf,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[Table4Row]) -> str:
+    """Render the reproduction next to the paper's Table 4."""
+    return render_table(
+        ["dataset", "L (paper)", "r (paper)", "r-bar (paper)", "N_io,inf (paper)"],
+        [
+            (
+                r.dataset,
+                f"{r.L} ({r.paper_l})",
+                f"{r.total_radii} ({r.paper_total_radii})",
+                f"{r.avg_radii:.2f} ({r.paper_avg_radii})",
+                f"{r.n_io_inf:.1f} ({r.paper_n_io_inf})",
+            )
+            for r in rows
+        ],
+        title="Table 4: bucket reads per query (paper reference in parentheses)",
+    )

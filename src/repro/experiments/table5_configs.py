@@ -1,0 +1,48 @@
+"""Table 5: storage device configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.profiles import STORAGE_CONFIGS
+from repro.experiments.tables import render_table
+from repro.utils.units import format_bytes, format_iops
+
+__all__ = ["Table5Row", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One storage configuration."""
+
+    name: str
+    device: str
+    count: int
+    total_capacity_bytes: int
+    total_max_iops: float
+
+
+def run() -> list[Table5Row]:
+    """Enumerate the Table 5 configurations."""
+    return [
+        Table5Row(
+            name=config.name,
+            device=config.device,
+            count=config.count,
+            total_capacity_bytes=config.total_capacity_bytes,
+            total_max_iops=config.total_max_iops,
+        )
+        for config in STORAGE_CONFIGS.values()
+    ]
+
+
+def format_table(rows: list[Table5Row]) -> str:
+    """Render the configuration table."""
+    return render_table(
+        ["config", "device", "count", "total capacity", "total random read"],
+        [
+            (r.name, r.device, r.count, format_bytes(r.total_capacity_bytes), format_iops(r.total_max_iops))
+            for r in rows
+        ],
+        title="Table 5: storage device configurations",
+    )

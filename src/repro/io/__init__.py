@@ -1,0 +1,5 @@
+"""Index persistence: save/load a built E2LSHoS index."""
+
+from repro.io.persistence import load_index, save_index
+
+__all__ = ["save_index", "load_index"]

@@ -1,0 +1,96 @@
+"""Object info packing: object ID + fingerprint in 5 bytes (Sec. 5.2).
+
+Hash values are ``v = 32`` bits.  The hash table consumes the low ``u``
+bits; the remaining ``v - u`` bits ride along with the object ID inside
+the bucket as a *fingerprint* so false collisions introduced by the
+shortened table key can be rejected at full 32-bit precision when the
+bucket is read.  The paper allocates 5 bytes per entry because
+``ceil(log2 n) + (v - u)`` can exceed 32 bits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["OBJECT_INFO_SIZE", "HASH_VALUE_BITS", "ObjectInfoCodec", "default_table_bits"]
+
+OBJECT_INFO_SIZE = 5
+HASH_VALUE_BITS = 32
+
+_BYTE_WEIGHTS = np.array([1 << (8 * i) for i in range(OBJECT_INFO_SIZE)], dtype=np.uint64)
+
+
+def default_table_bits(n: int) -> int:
+    """Table key width ``u`` for a database of ``n`` objects.
+
+    The paper uses ``u`` close to log2 n (Sec. 5.2); ``ceil(log2 n)``
+    keeps the slot load factor below 1 so that sharing of buckets
+    between distinct hash values (false collisions, rejected later by
+    the fingerprint) stays rare.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    return int(min(28, max(8, math.ceil(math.log2(max(n, 2))))))
+
+
+class ObjectInfoCodec:
+    """Packs/unpacks (object ID, fingerprint) pairs into 5-byte entries."""
+
+    def __init__(self, n_objects: int, table_bits: int) -> None:
+        if n_objects < 1:
+            raise ValueError(f"n_objects must be >= 1, got {n_objects}")
+        if not 1 <= table_bits <= HASH_VALUE_BITS:
+            raise ValueError(f"table_bits must be in [1, 32], got {table_bits}")
+        self.n_objects = n_objects
+        self.table_bits = table_bits
+        self.id_bits = max(1, math.ceil(math.log2(max(n_objects, 2))))
+        self.fingerprint_bits = HASH_VALUE_BITS - table_bits
+        if self.id_bits + self.fingerprint_bits > 8 * OBJECT_INFO_SIZE:
+            raise ValueError(
+                f"{self.id_bits} ID bits + {self.fingerprint_bits} fingerprint bits "
+                f"exceed the {8 * OBJECT_INFO_SIZE}-bit object info"
+            )
+
+    @property
+    def fingerprint_mask(self) -> int:
+        """Mask selecting the fingerprint bits of a 32-bit hash value."""
+        return (1 << self.fingerprint_bits) - 1
+
+    def split_hash(self, hash_values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Split 32-bit hash values into (table slot, fingerprint)."""
+        values = hash_values.astype(np.uint64, copy=False)
+        slots = values & np.uint64((1 << self.table_bits) - 1)
+        fingerprints = values >> np.uint64(self.table_bits)
+        return slots, fingerprints
+
+    def pack(self, object_ids: np.ndarray, fingerprints: np.ndarray) -> bytes:
+        """Encode parallel ID/fingerprint arrays into contiguous 5-byte entries."""
+        ids = np.asarray(object_ids, dtype=np.uint64)
+        fps = np.asarray(fingerprints, dtype=np.uint64)
+        if ids.shape != fps.shape:
+            raise ValueError("object_ids and fingerprints must have equal shape")
+        # IDs must fit the id_bits field; the layout deliberately leaves
+        # headroom above n_objects so incremental inserts (Sec. 7
+        # maintenance) can append without re-encoding the index.
+        if ids.size and (int(ids.max()) >> self.id_bits):
+            raise ValueError("object ID out of range")
+        if fps.size and int(fps.max()) >> self.fingerprint_bits:
+            raise ValueError("fingerprint wider than fingerprint_bits")
+        packed = (fps << np.uint64(self.id_bits)) | ids
+        # Little-endian 5-byte entries: take the low 5 bytes of each uint64.
+        as_bytes = packed.astype("<u8").view(np.uint8).reshape(-1, 8)
+        return as_bytes[:, :OBJECT_INFO_SIZE].tobytes()
+
+    def unpack(self, payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+        """Decode contiguous 5-byte entries into (object IDs, fingerprints)."""
+        if len(payload) % OBJECT_INFO_SIZE:
+            raise ValueError(
+                f"payload of {len(payload)} bytes is not a multiple of {OBJECT_INFO_SIZE}"
+            )
+        raw = np.frombuffer(payload, dtype=np.uint8).reshape(-1, OBJECT_INFO_SIZE)
+        values = raw.astype(np.uint64) @ _BYTE_WEIGHTS
+        ids = values & np.uint64((1 << self.id_bits) - 1)
+        fingerprints = values >> np.uint64(self.id_bits)
+        return ids.astype(np.int64), fingerprints

@@ -1,0 +1,36 @@
+"""Storage access interface model (the paper's Table 3).
+
+An interface is characterized by the CPU time one core spends to issue
+(and complete) a single I/O request.  The reciprocal bounds the IOPS a
+single core can drive regardless of how fast the device is — this is the
+effect behind Figure 11's "Group 2" where io_uring caps three different
+multi-MIOPS device configurations at the same speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import NS_PER_S
+from repro.utils.validation import require_positive
+
+__all__ = ["StorageInterface"]
+
+
+@dataclass(frozen=True)
+class StorageInterface:
+    """Per-request CPU cost of one storage access interface."""
+
+    name: str
+    cpu_overhead_ns: float
+    #: True for interfaces that block the CPU until the read completes
+    #: (the memory-mapped page-fault path of Sec. 6.5).
+    synchronous: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive(self.cpu_overhead_ns, "cpu_overhead_ns")
+
+    @property
+    def max_iops_per_core(self) -> float:
+        """Maximum request rate one core can sustain (Table 3, right column)."""
+        return NS_PER_S / self.cpu_overhead_ns

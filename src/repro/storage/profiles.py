@@ -1,0 +1,129 @@
+"""Calibrated device, interface, and configuration catalogs.
+
+The numbers below are taken directly from the paper:
+
+- Table 2 (random read performance at queue depths 1 and 128),
+- Table 3 (CPU time per I/O of each access interface),
+- Table 5 (device counts used in the evaluation).
+
+``DEVICE_PROFILES`` encodes each Table 2 row as a queue-depth-1 latency
+(the reciprocal of the QD-1 throughput) plus the saturated IOPS measured
+at queue depth 128.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.blockstore import BlockStore
+from repro.storage.device import DeviceProfile
+from repro.storage.engine import AsyncIOEngine
+from repro.storage.interface import StorageInterface
+from repro.storage.raid import StripedVolume
+from repro.utils.units import GIB, NS_PER_S, TIB
+
+__all__ = [
+    "DEVICE_PROFILES",
+    "INTERFACE_PROFILES",
+    "STORAGE_CONFIGS",
+    "StorageConfig",
+    "make_volume",
+    "make_engine",
+]
+
+# --------------------------------------------------------------------------
+# Table 2: storage devices and their random read performance.
+# QD-1 kIOPS determines the latency; QD-128 kIOPS is the saturation point.
+# --------------------------------------------------------------------------
+DEVICE_PROFILES: dict[str, DeviceProfile] = {
+    "cssd": DeviceProfile(
+        name="cssd",  # KIOXIA XG5 (consumer NVMe): 7.2 kIOPS @QD1, 273 @QD128
+        latency_ns=NS_PER_S / 7_200,
+        max_iops=273_000,
+        capacity_bytes=2 * TIB,
+    ),
+    "essd": DeviceProfile(
+        name="essd",  # KIOXIA FL6 (enterprise, XL-FLASH): 27.6 kIOPS @QD1, 1400 @QD128
+        latency_ns=NS_PER_S / 27_600,
+        max_iops=1_400_000,
+        capacity_bytes=800 * GIB,
+    ),
+    "xlfdd": DeviceProfile(
+        name="xlfdd",  # XL-FLASH demo drive: 132.3 kIOPS @QD1, 3860 @QD128
+        latency_ns=NS_PER_S / 132_300,
+        max_iops=3_860_000,
+        capacity_bytes=520 * GIB,
+    ),
+    "hdd": DeviceProfile(
+        name="hdd",  # Seagate IronWolf 7200rpm (reference only): 0.21 / 0.54 kIOPS
+        latency_ns=NS_PER_S / 210,
+        max_iops=540,
+        bandwidth_bytes_per_s=250e6,
+        capacity_bytes=10 * TIB,
+    ),
+}
+
+# --------------------------------------------------------------------------
+# Table 3: storage interfaces and their per-I/O CPU overhead.
+# "mmap_sync" models the memory-mapped synchronous path of Sec. 6.5: each
+# page fault costs kernel time and blocks the CPU until the page arrives.
+# --------------------------------------------------------------------------
+INTERFACE_PROFILES: dict[str, StorageInterface] = {
+    "io_uring": StorageInterface(name="io_uring", cpu_overhead_ns=1_000.0),
+    "spdk": StorageInterface(name="spdk", cpu_overhead_ns=350.0),
+    "xlfdd": StorageInterface(name="xlfdd", cpu_overhead_ns=50.0),
+    "mmap_sync": StorageInterface(name="mmap_sync", cpu_overhead_ns=2_500.0, synchronous=True),
+}
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """One storage configuration row of Table 5."""
+
+    name: str
+    device: str
+    count: int
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """Profile of the member device."""
+        return DEVICE_PROFILES[self.device]
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Aggregate capacity of the configuration."""
+        return self.profile.capacity_bytes * self.count
+
+    @property
+    def total_max_iops(self) -> float:
+        """Aggregate saturated random-read throughput."""
+        return self.profile.max_iops * self.count
+
+
+# Table 5: storage device configurations used in the evaluation.
+STORAGE_CONFIGS: dict[str, StorageConfig] = {
+    "cssd_x1": StorageConfig(name="cssd_x1", device="cssd", count=1),
+    "cssd_x4": StorageConfig(name="cssd_x4", device="cssd", count=4),
+    "essd_x1": StorageConfig(name="essd_x1", device="essd", count=1),
+    "essd_x8": StorageConfig(name="essd_x8", device="essd", count=8),
+    "xlfdd_x12": StorageConfig(name="xlfdd_x12", device="xlfdd", count=12),
+}
+
+
+def make_volume(device: str, count: int = 1, stripe_unit: int = 512) -> StripedVolume:
+    """Build a striped volume of ``count`` devices of the named profile."""
+    if device not in DEVICE_PROFILES:
+        raise KeyError(f"unknown device {device!r}; known: {sorted(DEVICE_PROFILES)}")
+    return StripedVolume.of(DEVICE_PROFILES[device], count, stripe_unit)
+
+
+def make_engine(
+    store: BlockStore,
+    device: str = "cssd",
+    count: int = 1,
+    interface: str = "io_uring",
+) -> AsyncIOEngine:
+    """Convenience constructor for an engine over a fresh volume."""
+    if interface not in INTERFACE_PROFILES:
+        raise KeyError(f"unknown interface {interface!r}; known: {sorted(INTERFACE_PROFILES)}")
+    return AsyncIOEngine(make_volume(device, count), INTERFACE_PROFILES[interface], store)

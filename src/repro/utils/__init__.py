@@ -1,0 +1,32 @@
+"""Shared helpers: seeded randomness, unit formatting, validation."""
+
+from repro.utils.rng import rng_for, spawn_rngs
+from repro.utils.units import (
+    format_bytes,
+    format_iops,
+    format_time,
+    NS_PER_US,
+    NS_PER_MS,
+    NS_PER_S,
+)
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_power_of_two,
+)
+
+__all__ = [
+    "rng_for",
+    "spawn_rngs",
+    "format_bytes",
+    "format_iops",
+    "format_time",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+]

@@ -1,0 +1,60 @@
+"""Unit constants and human-readable formatting.
+
+All simulated times in the library are expressed in *nanoseconds* as
+floats; these helpers keep the conversion factors in one place.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_time",
+    "format_bytes",
+    "format_iops",
+]
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+
+def format_time(nanoseconds: float) -> str:
+    """Render a duration in the most natural unit (ns/us/ms/s)."""
+    value = float(nanoseconds)
+    if value < NS_PER_US:
+        return f"{value:.0f} ns"
+    if value < NS_PER_MS:
+        return f"{value / NS_PER_US:.2f} us"
+    if value < NS_PER_S:
+        return f"{value / NS_PER_MS:.2f} ms"
+    return f"{value / NS_PER_S:.2f} s"
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Render a byte count using binary prefixes."""
+    value = float(num_bytes)
+    for threshold, suffix in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if value >= threshold:
+            return f"{value / threshold:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def format_iops(iops: float) -> str:
+    """Render an IOPS figure the way the paper's tables do (kIOPS/MIOPS)."""
+    value = float(iops)
+    if value >= 1e6:
+        return f"{value / 1e6:.2f} MIOPS"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f} kIOPS"
+    return f"{value:.1f} IOPS"

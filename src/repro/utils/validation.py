@@ -1,0 +1,44 @@
+"""Small argument-validation helpers used across the library."""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` when ``condition`` is false."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def require_power_of_two(value: int, name: str) -> None:
+    """Raise unless ``value`` is a positive power of two."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def as_int(value: Any, name: str) -> int:
+    """Coerce ``value`` to int, rejecting values that lose precision."""
+    result = int(value)
+    if result != value:
+        raise ValueError(f"{name} must be an integer, got {value!r}")
+    return result

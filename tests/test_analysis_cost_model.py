@@ -1,0 +1,71 @@
+"""Tests for repro.analysis.cost_model (Eqs. 6-11)."""
+
+import math
+
+import pytest
+
+from repro.analysis.cost_model import (
+    async_query_time_ns,
+    required_iops,
+    required_request_rate,
+    required_sync_iops,
+    sync_query_time_ns,
+)
+from repro.utils.units import NS_PER_S
+
+
+def test_eq6_sync_time():
+    # T = T_compute + N_io (T_request + T_read)
+    assert sync_query_time_ns(100.0, 10, 1.0, 50.0) == pytest.approx(100 + 10 * 51)
+
+
+def test_eq7_async_time_is_max():
+    compute_bound = async_query_time_ns(1000.0, 10, 1.0, 5.0)
+    assert compute_bound == pytest.approx(1000 + 10 * 1.0)
+    io_bound = async_query_time_ns(10.0, 100, 1.0, 50.0)
+    assert io_bound == pytest.approx(100 * 50.0)
+
+
+def test_async_never_exceeds_sync():
+    for n_io in (1, 10, 1000):
+        sync = sync_query_time_ns(500.0, n_io, 1.0, 100.0)
+        asynchronous = async_query_time_ns(500.0, n_io, 1.0, 100.0)
+        assert asynchronous <= sync
+
+
+def test_eq11_required_iops():
+    # 100 I/Os in 1 ms -> 100k IOPS.
+    assert required_iops(100, 1e6) == pytest.approx(100 * NS_PER_S / 1e6)
+
+
+def test_eq10_request_rate_headroom():
+    rate = required_request_rate(100, 1e6, 0.5e6)
+    assert rate == pytest.approx(100 * NS_PER_S / 0.5e6)
+    # Compute alone exceeds the target: impossible.
+    assert required_request_rate(100, 1e6, 1e6) == math.inf
+    assert required_request_rate(100, 1e6, 2e6) == math.inf
+
+
+def test_eq9_sync_matches_eq10_form():
+    assert required_sync_iops(10, 1e6, 2e5) == pytest.approx(
+        required_request_rate(10, 1e6, 2e5)
+    )
+
+
+def test_requirement_satisfies_model():
+    """Plugging the required IOPS back into Eq. 7 meets the target."""
+    compute, n_io, target = 2e5, 300, 1e6
+    t_read = NS_PER_S / required_iops(n_io, target)
+    t_request = NS_PER_S / required_request_rate(n_io, target, compute)
+    assert async_query_time_ns(compute, n_io, t_request, t_read) <= target * 1.0001
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        sync_query_time_ns(-1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        async_query_time_ns(1, -1, 1, 1)
+    with pytest.raises(ValueError):
+        required_iops(10, 0)
+    with pytest.raises(ValueError):
+        required_request_rate(-1, 10, 1)

@@ -1,0 +1,55 @@
+"""Tests for repro.analysis.machine_model."""
+
+import pytest
+
+from repro.analysis.machine_model import DEFAULT_MACHINE, MachineModel
+from repro.stats import OpCounts
+
+
+def test_compute_is_linear_in_counts():
+    machine = MachineModel()
+    ops = OpCounts(projection_scalar_ops=100, candidate_fetches=2)
+    doubled = ops.scaled(2.0)
+    assert machine.compute_ns(doubled) == pytest.approx(2 * machine.compute_ns(ops))
+
+
+def test_all_counters_contribute():
+    machine = MachineModel()
+    base = machine.compute_ns(OpCounts())
+    assert base == 0.0
+    for field_name in (
+        "projection_scalar_ops",
+        "distance_scalar_ops",
+        "candidate_fetches",
+        "bucket_lookups",
+        "tree_node_visits",
+        "btree_entry_scans",
+        "heap_ops",
+        "rounds",
+    ):
+        ops = OpCounts(**{field_name: 10})
+        assert machine.compute_ns(ops) > 0, field_name
+
+
+def test_inmemory_footprint_stall():
+    """Sec. 4.5: in-memory E2LSH runs ~10% slower than the same compute
+    with a small footprint, i.e. T_compute = 0.9 * T_E2LSH."""
+    machine = MachineModel()
+    ops = OpCounts(distance_scalar_ops=1000)
+    inmem = machine.inmemory_e2lsh_ns(ops)
+    pure = machine.compute_ns(ops)
+    assert pure / inmem == pytest.approx(0.9)
+
+
+def test_default_instance_is_calibrated():
+    assert DEFAULT_MACHINE.ns_per_candidate_fetch >= 10
+    assert DEFAULT_MACHINE.ns_per_projection_op < 1.0
+
+
+def test_opcounts_add_and_scale():
+    a = OpCounts(rounds=1, heap_ops=5)
+    b = OpCounts(rounds=2, heap_ops=7, candidate_fetches=3)
+    a.add(b)
+    assert a.rounds == 3 and a.heap_ops == 12 and a.candidate_fetches == 3
+    half = a.scaled(0.5)
+    assert half.heap_ops == 6

@@ -1,0 +1,75 @@
+"""Tests for repro.analysis.requirements."""
+
+import math
+
+import pytest
+
+from repro.analysis.requirements import (
+    INMEMORY_COMPUTE_FRACTION,
+    average_n_io,
+    inmemory_cpu_requirement_scale,
+    requirement_curve,
+)
+from repro.stats import QueryStats
+
+
+def make_stats(nonempty, examined):
+    stats = QueryStats()
+    stats.nonempty_buckets = nonempty
+    stats.bucket_sizes_examined = list(examined)
+    return stats
+
+
+def test_infinite_block_is_two_per_bucket():
+    stats = [make_stats(3, [10, 20, 400])]
+    assert average_n_io(stats, block_size=None) == pytest.approx(6.0)
+
+
+def test_finite_block_counts_chain_blocks():
+    # 512-byte blocks hold 99 entries: 10 -> 1 block, 400 -> 5 blocks.
+    stats = [make_stats(3, [10, 20, 400])]
+    expected = 3 + (1 + 1 + math.ceil(400 / 99))
+    assert average_n_io(stats, block_size=512) == pytest.approx(expected)
+
+
+def test_smaller_blocks_more_ios():
+    stats = [make_stats(2, [150, 60])]
+    assert (
+        average_n_io(stats, 128)
+        > average_n_io(stats, 512)
+        > average_n_io(stats, None) - 1e-9
+    )
+
+
+def test_average_over_queries():
+    stats = [make_stats(1, [1]), make_stats(3, [1, 1, 1])]
+    assert average_n_io(stats, None) == pytest.approx((2 + 6) / 2)
+
+
+def test_average_requires_stats():
+    with pytest.raises(ValueError):
+        average_n_io([], None)
+
+
+def test_requirement_curve_assembly():
+    curve = requirement_curve(
+        "test",
+        ratios=[1.10, 1.05],
+        n_ios=[100, 200],
+        target_ns=[1e6, 2e6],
+        compute_ns=[1e5, 1e5],
+    )
+    assert len(curve.points) == 2
+    assert curve.points[0].read_iops == pytest.approx(100 * 1e9 / 1e6)
+    assert curve.max_read_iops() >= curve.points[1].read_iops
+    assert curve.max_request_rate() > 0
+
+
+def test_requirement_curve_validates_lengths():
+    with pytest.raises(ValueError):
+        requirement_curve("x", [1.0], [1], [1.0, 2.0], [0.0])
+
+
+def test_eq16_scale_is_ten():
+    assert inmemory_cpu_requirement_scale() == pytest.approx(10.0)
+    assert INMEMORY_COMPUTE_FRACTION == pytest.approx(0.9)

@@ -1,0 +1,111 @@
+"""Tests for repro.baselines.bptree (QALSH's B+ tree substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bptree import BPlusTree, TraversalCounters
+
+
+def make_tree(keys, leaf_capacity=4, fanout=3):
+    keys = np.asarray(keys, dtype=np.float64)
+    return BPlusTree(keys, np.arange(keys.size), leaf_capacity=leaf_capacity, fanout=fanout)
+
+
+def test_locate_first_geq():
+    tree = make_tree([1.0, 3.0, 5.0, 7.0, 9.0, 11.0])
+    leaf, index = tree.locate(5.0)
+    assert leaf.keys[index] == 5.0
+    leaf, index = tree.locate(5.5)
+    assert leaf.keys[index] == 7.0
+    leaf, index = tree.locate(-100)
+    assert leaf.keys[index] == 1.0
+
+
+def test_locate_beyond_max():
+    tree = make_tree([1.0, 2.0, 3.0])
+    leaf, index = tree.locate(100.0)
+    assert index == leaf.keys.size  # one past the end of the last leaf
+
+
+def test_window_basic():
+    keys = np.arange(100, dtype=np.float64)
+    tree = make_tree(keys)
+    window_keys, window_values = tree.window(10.0, 20.0)
+    np.testing.assert_array_equal(window_keys, np.arange(10, 20, dtype=np.float64))
+    np.testing.assert_array_equal(window_values, np.arange(10, 20))
+
+
+def test_window_counts_operations():
+    tree = make_tree(np.arange(1000, dtype=np.float64), leaf_capacity=16, fanout=8)
+    counters = TraversalCounters()
+    tree.window(100.0, 200.0, counters)
+    assert counters.entries_scanned == 100
+    assert counters.leaf_visits >= 100 // 16
+    assert counters.node_visits >= 1
+
+
+def test_window_with_duplicates():
+    keys = np.array([1.0, 2.0, 2.0, 2.0, 3.0, 4.0])
+    tree = make_tree(keys)
+    window_keys, _ = tree.window(2.0, 3.0)
+    assert window_keys.tolist() == [2.0, 2.0, 2.0]
+
+
+def test_window_empty_and_invalid():
+    tree = make_tree([1.0, 5.0, 9.0])
+    keys, values = tree.window(2.0, 4.0)
+    assert keys.size == 0 and values.size == 0
+    with pytest.raises(ValueError):
+        tree.window(5.0, 1.0)
+
+
+def test_min_max_and_len():
+    tree = make_tree([3.0, 1.0, 2.0])  # unsorted input is sorted internally
+    assert tree.min_key() == 1.0
+    assert tree.max_key() == 3.0
+    assert len(tree) == 3
+
+
+def test_height_grows_logarithmically():
+    small = make_tree(np.arange(8, dtype=np.float64), leaf_capacity=4, fanout=4)
+    large = make_tree(np.arange(4096, dtype=np.float64), leaf_capacity=4, fanout=4)
+    assert large.height > small.height
+    assert large.height <= 7
+
+
+def test_build_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(np.array([]), np.array([]))
+    with pytest.raises(ValueError):
+        BPlusTree(np.array([1.0]), np.array([1, 2]))
+    with pytest.raises(ValueError):
+        BPlusTree(np.array([1.0]), np.array([1]), leaf_capacity=1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    ),
+    bounds=st.tuples(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    ),
+)
+def test_property_window_matches_sorted_filter(keys, bounds):
+    """window(lo, hi) must equal the brute-force sorted filter."""
+    lo, width = bounds
+    hi = lo + width
+    keys_arr = np.asarray(keys, dtype=np.float64)
+    tree = BPlusTree(keys_arr, np.arange(keys_arr.size), leaf_capacity=8, fanout=4)
+    window_keys, window_values = tree.window(lo, hi)
+    order = np.argsort(keys_arr, kind="stable")
+    sorted_keys = keys_arr[order]
+    mask = (sorted_keys >= lo) & (sorted_keys < hi)
+    np.testing.assert_array_equal(window_keys, sorted_keys[mask])
+    # Returned values point back at entries with the same keys.
+    np.testing.assert_array_equal(keys_arr[window_values], window_keys)

@@ -1,0 +1,50 @@
+"""Tests for repro.baselines.linear_scan."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_scan import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def index():
+    rng = np.random.default_rng(61)
+    return LinearScanIndex(rng.normal(size=(300, 8)).astype(np.float32))
+
+
+def test_exact_top1(index):
+    query = index.data[42] + 0.001
+    answer = index.query(query, k=1)
+    assert answer.ids[0] == 42
+
+
+def test_topk_sorted_and_exact(index):
+    rng = np.random.default_rng(1)
+    query = rng.normal(size=8).astype(np.float32)
+    answer = index.query(query, k=7)
+    dists = np.linalg.norm(index.data.astype(np.float64) - query, axis=1)
+    expected = np.argsort(dists, kind="stable")[:7]
+    np.testing.assert_allclose(answer.distances, np.sort(dists)[:7], rtol=1e-6)
+    assert set(answer.ids.tolist()) == set(expected.tolist())
+
+
+def test_stats_reflect_full_scan(index):
+    answer = index.query(index.data[0], k=1)
+    assert answer.stats.candidates_checked == index.n
+    assert answer.stats.ops.distance_scalar_ops == index.n * index.d
+
+
+def test_batch(index):
+    answers = index.query_batch(index.data[:3], k=1)
+    assert [a.ids[0] for a in answers] == [0, 1, 2]
+
+
+def test_validation(index):
+    with pytest.raises(ValueError):
+        index.query(index.data[0], k=0)
+    with pytest.raises(ValueError):
+        index.query(index.data[0], k=index.n + 1)
+    with pytest.raises(ValueError):
+        index.query(np.zeros(3, dtype=np.float32))
+    with pytest.raises(ValueError):
+        LinearScanIndex(np.empty((0, 3)))

@@ -1,0 +1,111 @@
+"""Tests for repro.baselines.qalsh."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.linear_scan import LinearScanIndex
+from repro.baselines.qalsh import QALSHIndex, qalsh_parameters
+
+
+@pytest.fixture(scope="module")
+def data_and_queries():
+    rng = np.random.default_rng(53)
+    n, d = 1500, 24
+    centers = rng.normal(scale=5.0, size=(15, d))
+    data = (centers[rng.integers(0, 15, n)] + rng.normal(scale=0.5, size=(n, d))).astype(
+        np.float32
+    )
+    queries = (data[rng.integers(0, n, 8)] + rng.normal(scale=0.05, size=(8, d))).astype(
+        np.float32
+    )
+    return data, queries
+
+
+@pytest.fixture(scope="module")
+def index(data_and_queries):
+    return QALSHIndex(data_and_queries[0], seed=13)
+
+
+def test_parameter_formulas():
+    m, alpha, threshold = qalsh_parameters(n=10_000, c=2.0, w=2.719)
+    assert m >= 10
+    assert 0 < alpha < 1
+    assert 1 <= threshold <= m
+    # Larger c separates p1/p2 more -> fewer hash functions needed.
+    m_large_c, _, _ = qalsh_parameters(n=10_000, c=3.0, w=2.719)
+    assert m_large_c < m
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        qalsh_parameters(n=0, c=2.0, w=1.0)
+    with pytest.raises(ValueError):
+        qalsh_parameters(n=10, c=1.0, w=1.0)
+    with pytest.raises(ValueError):
+        qalsh_parameters(n=10, c=2.0, w=-1.0)
+
+
+def test_finds_near_neighbors(data_and_queries, index):
+    data, queries = data_and_queries
+    exact = LinearScanIndex(data)
+    for q in queries:
+        answer = index.query(q, k=1)
+        assert answer.found
+        truth = exact.query(q, k=1)
+        # c-ANNS quality: well within c^2 of exact on easy data.
+        assert answer.distances[0] <= 4.0 * truth.distances[0] + 1e-6
+
+
+def test_accuracy_knob_c(data_and_queries, index):
+    """Smaller c -> stricter T1 termination -> at least as accurate."""
+    data, queries = data_and_queries
+    exact = LinearScanIndex(data)
+    def total_ratio(c):
+        total = 0.0
+        for q in queries:
+            answer = index.query(q, k=1, c=c)
+            truth = exact.query(q, k=1)
+            total += answer.distances[0] / max(truth.distances[0], 1e-9)
+        return total
+
+    assert total_ratio(1.3) <= total_ratio(3.0) + 1e-6
+
+
+def test_budget_t2_respected(data_and_queries, index):
+    _, queries = data_and_queries
+    answer = index.query(queries[0], k=1)
+    assert answer.stats.candidates_checked <= index.beta_count + 1 - 1 + 1
+
+
+def test_ops_counters(data_and_queries, index):
+    _, queries = data_and_queries
+    stats = index.query(queries[0], k=1).stats
+    assert stats.ops.btree_entry_scans > 0
+    assert stats.rungs_searched >= 1
+    assert stats.ops.rounds == stats.rungs_searched
+
+
+def test_topk(data_and_queries, index):
+    _, queries = data_and_queries
+    answer = index.query(queries[0], k=4)
+    assert answer.ids.size <= 4
+    assert np.all(np.diff(answer.distances) >= 0)
+
+
+def test_determinism(data_and_queries):
+    data, queries = data_and_queries
+    a = QALSHIndex(data, seed=3).query(queries[0], k=2)
+    b = QALSHIndex(data, seed=3).query(queries[0], k=2)
+    np.testing.assert_array_equal(a.ids, b.ids)
+
+
+def test_validation(data_and_queries, index):
+    _, queries = data_and_queries
+    with pytest.raises(ValueError):
+        index.query(queries[0], k=0)
+    with pytest.raises(ValueError):
+        index.query(queries[0], k=1, c=1.0)
+    with pytest.raises(ValueError):
+        index.query(np.zeros(2, dtype=np.float32))
+    with pytest.raises(ValueError):
+        QALSHIndex(np.empty((0, 3)))

@@ -1,0 +1,70 @@
+"""Tests for repro.cli."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def test_info_lists_catalogs():
+    code, text = run_cli("info")
+    assert code == 0
+    for token in ("sift", "bigann", "cssd", "xlfdd", "io_uring", "spdk"):
+        assert token in text
+
+
+def test_build_query_roundtrip(tmp_path):
+    prefix = str(tmp_path / "idx")
+    code, text = run_cli(
+        "build", "--dataset", "sift", "--n", "1500", "--queries", "6",
+        "--gamma", "0.6", "--out", prefix,
+    )
+    assert code == 0
+    assert "built" in text
+    assert (tmp_path / "idx.blocks").exists()
+    assert (tmp_path / "idx.npz").exists()
+
+    code, text = run_cli(
+        "query", "--dataset", "sift", "--n", "1500", "--queries", "6",
+        "--gamma", "0.6", "--index", prefix, "-k", "3",
+        "--device", "cssd", "--count", "1", "--interface", "io_uring",
+    )
+    assert code == 0
+    assert "overall ratio" in text
+    ratio = float(text.rsplit("overall ratio", 1)[1].strip())
+    assert ratio < 2.0
+
+
+def test_query_missing_index(tmp_path):
+    code, text = run_cli(
+        "query", "--dataset", "sift", "--n", "500", "--index", str(tmp_path / "nope")
+    )
+    assert code == 1
+    assert "error" in text
+
+
+def test_analyze_reports_requirements():
+    code, text = run_cli(
+        "analyze", "--dataset", "rand", "--n", "1500", "--queries", "6",
+        "--target-ms", "0.5",
+    )
+    assert code == 0
+    assert "I/Os per query" in text
+    assert "qualifying devices" in text
+
+
+def test_parser_rejects_unknown_dataset():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["build", "--dataset", "imaginary", "--out", "x"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

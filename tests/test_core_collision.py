@@ -1,0 +1,84 @@
+"""Tests for repro.core.collision."""
+
+import numpy as np
+import pytest
+
+from repro.core.collision import (
+    collision_probability,
+    query_aware_collision_probability,
+    rho_for_width,
+    width_for_rho,
+)
+
+
+def test_limits():
+    assert collision_probability(0.0) == 0.0
+    assert collision_probability(1e9) == pytest.approx(1.0, abs=1e-6)
+    assert query_aware_collision_probability(0.0) == pytest.approx(0.0, abs=1e-12)
+    assert query_aware_collision_probability(1e9) == pytest.approx(1.0, abs=1e-9)
+
+
+def test_monotone_decreasing_in_distance():
+    """Farther points (smaller w/s) collide less — the LSH property."""
+    t = np.linspace(0.05, 8, 200)  # beyond ~8 the probability saturates at 1
+    p = collision_probability(t)
+    assert np.all(np.diff(p) > 0)  # increasing in t = decreasing in s
+    q = query_aware_collision_probability(t)
+    assert np.all(np.diff(q) > 0)
+
+
+def test_known_value():
+    # p(4) ~ 0.8006 (e.g. w=4, s=1): standard E2LSH figure.
+    assert collision_probability(4.0) == pytest.approx(0.8006, abs=1e-3)
+    assert collision_probability(2.0) == pytest.approx(0.6095, abs=1e-3)
+
+
+def test_vectorized_matches_scalar():
+    t = np.array([0.5, 1.0, 4.0])
+    vec = collision_probability(t)
+    for i, value in enumerate(t):
+        assert vec[i] == pytest.approx(collision_probability(float(value)))
+
+
+def test_rho_below_one_and_decreasing_in_w():
+    r_small = rho_for_width(1.0, 2.0)
+    r_large = rho_for_width(16.0, 2.0)
+    assert 0 < r_large < r_small < 1
+    # As w -> inf, rho -> 1/c.
+    assert rho_for_width(64.0, 2.0) == pytest.approx(0.5, abs=0.05)
+
+
+def test_width_for_rho_inverts():
+    target = 0.6
+    w = width_for_rho(target, 2.0)
+    assert rho_for_width(w, 2.0) == pytest.approx(target, abs=1e-6)
+
+
+def test_width_for_rho_out_of_range():
+    with pytest.raises(ValueError):
+        width_for_rho(0.01, 2.0)
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        collision_probability(-1.0)
+    with pytest.raises(ValueError):
+        rho_for_width(0.0, 2.0)
+    with pytest.raises(ValueError):
+        rho_for_width(1.0, 1.0)
+
+
+def test_empirical_collision_matches_theory():
+    """Monte-Carlo check of p_w(s) with actual floor-hash collisions."""
+    rng = np.random.default_rng(11)
+    d, n, w = 32, 20_000, 3.0
+    direction = rng.standard_normal((d, n))
+    offsets = rng.random(n)
+    origin = np.zeros(d)
+    for s in (0.5, 1.0, 2.0):
+        point = np.zeros(d)
+        point[0] = s
+        h_origin = np.floor((origin @ direction) / w + offsets)
+        h_point = np.floor((point @ direction) / w + offsets)
+        empirical = float((h_origin == h_point).mean())
+        assert empirical == pytest.approx(collision_probability(w / s), abs=0.02)

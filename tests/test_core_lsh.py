@@ -1,0 +1,116 @@
+"""Tests for repro.core.lsh (compound hash bank)."""
+
+import numpy as np
+import pytest
+
+from repro.core.lsh import CompoundHashBank
+
+
+@pytest.fixture(scope="module")
+def bank():
+    return CompoundHashBank.create(d=16, m=6, L=4, w=3.0, seed=21)
+
+
+def test_deterministic_given_seed():
+    a = CompoundHashBank.create(d=8, m=3, L=2, w=2.0, seed=1)
+    b = CompoundHashBank.create(d=8, m=3, L=2, w=2.0, seed=1)
+    np.testing.assert_array_equal(a.a, b.a)
+    np.testing.assert_array_equal(a.mixers, b.mixers)
+    c = CompoundHashBank.create(d=8, m=3, L=2, w=2.0, seed=2)
+    assert not np.allclose(a.a, c.a)
+
+
+def test_shapes(bank):
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(10, 16)).astype(np.float32)
+    projections = bank.project(points)
+    assert projections.shape == (10, 4 * 6)
+    codes = bank.codes_for_radius(projections, radius=1.0)
+    assert codes.shape == (10, 4, 6)
+    values = bank.mix32(codes)
+    assert values.shape == (10, 4)
+    assert values.dtype == np.uint32
+
+
+def test_identical_points_identical_hashes(bank):
+    point = np.random.default_rng(3).normal(size=16).astype(np.float32)
+    h1 = bank.hash_values(point, radius=2.0)
+    h2 = bank.hash_values(point.copy(), radius=2.0)
+    np.testing.assert_array_equal(h1, h2)
+
+
+def test_radius_scales_bucket_width(bank):
+    """At a huge radius everything collapses into the same bucket."""
+    rng = np.random.default_rng(4)
+    points = rng.normal(size=(50, 16)).astype(np.float32)
+    tiny = bank.hash_values(points, radius=1e-6)
+    huge = bank.hash_values(points, radius=1e9)
+    # Tiny radius: essentially all points in distinct buckets.
+    assert len(np.unique(tiny[:, 0])) > 40
+    # Huge radius: all collide.
+    assert len(np.unique(huge[:, 0])) == 1
+
+
+def test_near_points_collide_more_than_far(bank):
+    rng = np.random.default_rng(6)
+    base = rng.normal(size=(400, 16)).astype(np.float32) * 5
+    near = base + rng.normal(size=base.shape).astype(np.float32) * 0.01
+    far = base + rng.normal(size=base.shape).astype(np.float32) * 5.0
+    h_base = bank.hash_values(base, radius=1.0)
+    near_rate = (bank.hash_values(near, radius=1.0) == h_base).mean()
+    far_rate = (bank.hash_values(far, radius=1.0) == h_base).mean()
+    assert near_rate > far_rate
+
+
+def test_with_m_prefix_property(bank):
+    """A prefix bank must produce codes equal to the full bank's prefix."""
+    small = bank.with_m(3)
+    assert small.m == 3 and small.L == bank.L
+    rng = np.random.default_rng(8)
+    points = rng.normal(size=(20, 16)).astype(np.float32)
+    full_codes = bank.codes_for_radius(bank.project(points), 2.0)
+    small_codes = small.codes_for_radius(small.project(points), 2.0)
+    np.testing.assert_array_equal(small_codes, full_codes[:, :, :3])
+
+
+def test_select_projection_columns_matches_projection(bank):
+    rng = np.random.default_rng(9)
+    points = rng.normal(size=(5, 16)).astype(np.float32)
+    full = bank.project(points)
+    small = bank.with_m(2)
+    np.testing.assert_allclose(
+        bank.select_projection_columns(full, 2), small.project(points), rtol=1e-6
+    )
+
+
+def test_with_m_identity_and_validation(bank):
+    assert bank.with_m(bank.m) is bank
+    with pytest.raises(ValueError):
+        bank.with_m(0)
+    with pytest.raises(ValueError):
+        bank.with_m(bank.m + 1)
+
+
+def test_mix32_spreads_values(bank):
+    """The universal mix should not cluster distinct codes."""
+    rng = np.random.default_rng(10)
+    points = rng.normal(size=(2000, 16)).astype(np.float32) * 10
+    values = bank.hash_values(points, radius=0.01)[:, 0]
+    # Near-unique inputs should map to near-unique 32-bit values.
+    assert len(np.unique(values)) > 1990
+
+
+def test_dimension_mismatch(bank):
+    with pytest.raises(ValueError):
+        bank.project(np.zeros((3, 5), dtype=np.float32))
+    with pytest.raises(ValueError):
+        bank.codes_for_radius(np.zeros((3, 24)), radius=0.0)
+    with pytest.raises(ValueError):
+        bank.mix32(np.zeros((3, 2, 2), dtype=np.int64))
+
+
+def test_create_validation():
+    with pytest.raises(ValueError):
+        CompoundHashBank.create(d=0, m=1, L=1, w=1.0, seed=0)
+    with pytest.raises(ValueError):
+        CompoundHashBank.create(d=4, m=1, L=1, w=0.0, seed=0)

@@ -1,0 +1,97 @@
+"""Tests for repro.core.multiprobe (Sec. 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.multiprobe import MultiProbeE2LSH, perturbation_sequence
+from repro.core.params import E2LSHParams
+from repro.baselines.linear_scan import LinearScanIndex
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(71)
+    n, d = 2000, 20
+    centers = rng.normal(scale=4.0, size=(20, d))
+    data = (centers[rng.integers(0, 20, n)] + rng.normal(scale=0.4, size=(n, d))).astype(
+        np.float32
+    )
+    queries = (data[rng.integers(0, n, 10)] + rng.normal(scale=0.1, size=(10, d))).astype(
+        np.float32
+    )
+    # Deliberately small L: multi-probe's job is to recover recall that a
+    # shrunken index lost.
+    params = E2LSHParams(n=n, rho=0.18, gamma=0.7, s_factor=32)
+    index = E2LSHIndex(data, params, seed=6)
+    return data, queries, index
+
+
+def test_perturbation_sequence_ordered_by_score():
+    boundary = np.array([[0.1, 0.9], [0.4, 0.6], [0.2, 0.8]]) ** 2
+    probes = perturbation_sequence(boundary, max_probes=6)
+    assert probes, "must generate probes"
+    flat = boundary.reshape(-1)
+    scores = [sum(flat[i] for i in probe) for probe in probes]
+    assert scores == sorted(scores)
+    # Cheapest singleton is the smallest boundary distance.
+    assert probes[0] == (int(np.argmin(flat)),)
+
+
+def test_perturbation_sets_flip_each_coordinate_once():
+    rng = np.random.default_rng(2)
+    boundary = rng.random((5, 2))
+    for probe in perturbation_sequence(boundary, max_probes=20):
+        coordinates = [i // 2 for i in probe]
+        assert len(set(coordinates)) == len(coordinates)
+
+
+def test_perturbation_sequence_edge_cases():
+    boundary = np.array([[0.5, 0.5]])
+    assert perturbation_sequence(boundary, 0) == []
+    assert len(perturbation_sequence(boundary, 10)) <= 2
+    with pytest.raises(ValueError):
+        perturbation_sequence(np.zeros((3, 3)), 5)
+
+
+def test_zero_probes_matches_plain_e2lsh(setup):
+    """n_probes=0 probes only home buckets -> identical answers."""
+    data, queries, index = setup
+    multiprobe = MultiProbeE2LSH(index, n_probes=0)
+    for q in queries[:4]:
+        a = multiprobe.query(q, k=1)
+        b = index.query(q, k=1)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+
+def test_probing_improves_recall_on_shrunken_index(setup):
+    """With tiny L, extra probes must find at least as many neighbors."""
+    data, queries, index = setup
+    exact = LinearScanIndex(data)
+    plain_hits = probe_hits = 0
+    multiprobe = MultiProbeE2LSH(index, n_probes=12)
+    for q in queries:
+        truth = exact.query(q, k=1).ids[0]
+        plain = index.query(q, k=1)
+        probed = multiprobe.query(q, k=1)
+        plain_hits += int(plain.found and plain.ids[0] == truth)
+        probe_hits += int(probed.found and probed.ids[0] == truth)
+    assert probe_hits >= plain_hits
+
+
+def test_probes_visit_more_buckets(setup):
+    data, queries, index = setup
+    plain = index.query(queries[0], k=1)
+    probed = MultiProbeE2LSH(index, n_probes=8).query(queries[0], k=1)
+    assert probed.stats.buckets_probed > plain.stats.buckets_probed
+
+
+def test_validation(setup):
+    data, queries, index = setup
+    with pytest.raises(ValueError):
+        MultiProbeE2LSH(index, n_probes=-1)
+    multiprobe = MultiProbeE2LSH(index)
+    with pytest.raises(ValueError):
+        multiprobe.query(queries[0], k=0)
+    with pytest.raises(ValueError):
+        multiprobe.query(np.zeros(3, dtype=np.float32))

@@ -1,0 +1,63 @@
+"""Tests for repro.core.params (Eq. 5 + gamma scaling)."""
+
+import math
+
+import pytest
+
+from repro.core.params import E2LSHParams
+
+
+def test_eq5_values():
+    params = E2LSHParams(n=1_000_000, c=2.0, w=4.0, rho=0.3)
+    # m = ceil(log_{1/p2} n) with p2 = p(2) ~ 0.6095.
+    expected_m = math.ceil(math.log(1_000_000) / math.log(1 / params.p2))
+    assert params.m == expected_m
+    assert params.L == math.ceil(1_000_000**0.3)
+    assert params.S == 2 * params.L
+
+
+def test_gamma_scales_m_not_L():
+    base = E2LSHParams(n=100_000, rho=0.3)
+    scaled = base.with_gamma(0.5)
+    assert scaled.L == base.L
+    assert scaled.m == math.ceil(base.m * 0.5) or scaled.m == max(1, math.ceil(
+        0.5 * math.log(100_000) / math.log(1 / base.p2)
+    ))
+    assert scaled.m < base.m
+
+
+def test_s_factor():
+    params = E2LSHParams(n=10_000, rho=0.3, s_factor=8.0)
+    assert params.S == 8 * params.L
+    assert params.with_s_factor(2.0).S == 2 * params.L
+
+
+def test_probabilities_ordered():
+    params = E2LSHParams(n=1000)
+    assert 0 < params.p2 < params.p1 < 1
+
+
+def test_success_probability_constant():
+    assert E2LSHParams(n=10).success_probability == pytest.approx(0.5 - 1 / math.e)
+
+
+def test_describe_mentions_core_values():
+    text = E2LSHParams(n=1000, rho=0.3).describe()
+    assert "n=1000" in text and "m=" in text and "L=" in text
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"n": 0},
+        {"n": 10, "c": 1.0},
+        {"n": 10, "w": 0},
+        {"n": 10, "rho": 0.0},
+        {"n": 10, "rho": 1.0},
+        {"n": 10, "gamma": 0},
+        {"n": 10, "s_factor": 0},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ValueError):
+        E2LSHParams(**kwargs)

@@ -1,0 +1,55 @@
+"""Tests for repro.core.radii (the (R, c)-NN ladder)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.radii import RadiusLadder
+
+
+def test_geometric_ladder():
+    ladder = RadiusLadder.for_extent(x_max=10.0, d=100, c=2.0)
+    r_max = 2 * 10.0 * math.sqrt(100)  # = 200
+    assert ladder.rungs == math.ceil(math.log(r_max, 2.0))
+    assert ladder[0] == 1.0
+    for a, b in zip(ladder, list(ladder)[1:]):
+        assert b == pytest.approx(2.0 * a)
+
+
+def test_for_data_uses_coordinate_extent():
+    data = np.zeros((10, 4), dtype=np.float32)
+    data[3, 2] = -7.0  # extent from the absolute maximum
+    ladder = RadiusLadder.for_data(data, 2.0)
+    assert ladder == RadiusLadder.for_extent(7.0, 4, 2.0)
+
+
+def test_tiny_extent_single_rung():
+    ladder = RadiusLadder.for_extent(x_max=0.01, d=2, c=2.0)
+    assert ladder.rungs == 1
+    assert ladder.radii == (1.0,)
+
+
+def test_rungs_independent_of_database_size():
+    """r depends on the extent, not n (Sec. 2.3)."""
+    small = np.random.default_rng(0).uniform(-5, 5, (100, 8)).astype(np.float32)
+    # Same extent, 10x the points.
+    large = np.vstack([small] * 10)
+    assert RadiusLadder.for_data(small, 2.0).rungs == RadiusLadder.for_data(large, 2.0).rungs
+
+
+def test_sequence_protocol():
+    ladder = RadiusLadder.for_extent(4.0, 16, 2.0)
+    assert len(ladder) == ladder.rungs
+    assert list(ladder)[-1] == ladder.r_max
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RadiusLadder(c=1.0, radii=(1.0,))
+    with pytest.raises(ValueError):
+        RadiusLadder(c=2.0, radii=())
+    with pytest.raises(ValueError):
+        RadiusLadder.for_extent(1.0, 0, 2.0)
+    with pytest.raises(ValueError):
+        RadiusLadder.for_data(np.zeros(3), 2.0)

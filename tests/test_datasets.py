@@ -1,0 +1,111 @@
+"""Tests for repro.datasets (generators, metrics, registry)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.metrics import (
+    local_intrinsic_dimensionality,
+    pairwise_distances,
+    relative_contrast,
+)
+from repro.datasets.registry import DATASET_NAMES, DATASET_SPECS, load_dataset
+
+
+def test_registry_has_all_eight():
+    assert set(DATASET_NAMES) == {
+        "msong", "sift", "gist", "rand", "glove", "gauss", "mnist", "bigann",
+    }
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+def test_generators_produce_well_formed_data(name):
+    dataset = load_dataset(name, n=500, n_queries=10, seed=1)
+    assert dataset.n == 500
+    assert dataset.n_queries == 10
+    assert dataset.data.dtype == np.float32
+    assert dataset.queries.shape[1] == dataset.d
+    assert np.isfinite(dataset.data).all()
+    spec = DATASET_SPECS[name]
+    expected_type = "byte" if spec.paper_type == "Image" and name != "gist" else dataset.value_type
+    assert dataset.value_type in ("float", "byte")
+
+
+@pytest.mark.parametrize("name", ["sift", "mnist", "bigann"])
+def test_byte_datasets_are_integral_in_range(name):
+    dataset = load_dataset(name, n=300, n_queries=5)
+    assert dataset.value_type == "byte"
+    assert dataset.data.min() >= 0
+    assert dataset.data.max() <= 255
+    np.testing.assert_array_equal(dataset.data, np.round(dataset.data))
+
+
+def test_generators_deterministic():
+    a = load_dataset("glove", n=200, n_queries=5, seed=9)
+    b = load_dataset("glove", n=200, n_queries=5, seed=9)
+    np.testing.assert_array_equal(a.data, b.data)
+    c = load_dataset("glove", n=200, n_queries=5, seed=10)
+    assert not np.array_equal(a.data, c.data)
+
+
+def test_subset_keeps_queries():
+    dataset = load_dataset("sift", n=400, n_queries=6)
+    sub = dataset.subset(100)
+    assert sub.n == 100
+    np.testing.assert_array_equal(sub.queries, dataset.queries)
+    np.testing.assert_array_equal(sub.data, dataset.data[:100])
+    with pytest.raises(ValueError):
+        dataset.subset(0)
+    with pytest.raises(ValueError):
+        dataset.subset(401)
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        Dataset(name="x", data=np.zeros((3, 2), np.float32), queries=np.zeros((1, 3), np.float32))
+    with pytest.raises(ValueError):
+        Dataset(
+            name="x",
+            data=np.zeros((3, 2), np.float32),
+            queries=np.zeros((1, 2), np.float32),
+            value_type="complex",
+        )
+
+
+def test_pairwise_distances():
+    a = np.array([[0.0, 0.0], [1.0, 0.0]])
+    b = np.array([[0.0, 0.0], [0.0, 2.0]])
+    d = pairwise_distances(a, b)
+    assert d[0, 0] == pytest.approx(0.0)
+    assert d[0, 1] == pytest.approx(2.0)
+    assert d[1, 1] == pytest.approx(np.sqrt(5.0))
+
+
+def test_relative_contrast_orders_hardness():
+    easy = load_dataset("sift", n=1500, n_queries=10)
+    hard = load_dataset("rand", n=1500, n_queries=10)
+    rc_easy = relative_contrast(easy.data, easy.queries)
+    rc_hard = relative_contrast(hard.data, hard.queries)
+    assert rc_easy > rc_hard > 1.0
+
+
+def test_lid_orders_hardness():
+    low = load_dataset("mnist", n=1500, n_queries=10)
+    high = load_dataset("gauss", n=1500, n_queries=10)
+    assert local_intrinsic_dimensionality(
+        high.data, high.queries
+    ) > local_intrinsic_dimensionality(low.data, low.queries)
+
+
+def test_lid_of_uniform_cube_near_d():
+    rng = np.random.default_rng(0)
+    d = 12
+    data = rng.random((4000, d))
+    queries = rng.random((20, d))
+    lid = local_intrinsic_dimensionality(data, queries, k=20)
+    assert 0.4 * d < lid < 2.0 * d
+
+
+def test_metric_validation():
+    with pytest.raises(ValueError):
+        local_intrinsic_dimensionality(np.zeros((5, 2)), np.zeros((1, 2)), k=1)

@@ -1,0 +1,61 @@
+"""Tests for repro.eval.ground_truth."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ground_truth import exact_knn
+
+
+def naive_knn(data, queries, k):
+    ids = []
+    dists = []
+    for q in queries:
+        d = np.linalg.norm(data - q, axis=1)
+        order = np.argsort(d, kind="stable")[:k]
+        ids.append(order)
+        dists.append(d[order])
+    return np.array(ids), np.array(dists)
+
+
+def test_matches_naive():
+    rng = np.random.default_rng(3)
+    data = rng.normal(size=(500, 12))
+    queries = rng.normal(size=(7, 12))
+    truth = exact_knn(data, queries, k=5)
+    naive_ids, naive_dists = naive_knn(data, queries, 5)
+    np.testing.assert_allclose(truth.distances, naive_dists, rtol=1e-9)
+    # Distances identify the same neighbor sets even under ties.
+    for got, want in zip(truth.ids, naive_ids):
+        assert set(got.tolist()) == set(want.tolist())
+
+
+def test_chunked_equals_unchunked():
+    rng = np.random.default_rng(4)
+    data = rng.normal(size=(1000, 6))
+    queries = rng.normal(size=(5, 6))
+    whole = exact_knn(data, queries, k=9, chunk_rows=10_000)
+    chunked = exact_knn(data, queries, k=9, chunk_rows=64)
+    np.testing.assert_allclose(whole.distances, chunked.distances, rtol=1e-9)
+
+
+def test_distances_sorted():
+    rng = np.random.default_rng(5)
+    truth = exact_knn(rng.normal(size=(200, 4)), rng.normal(size=(3, 4)), k=20)
+    assert np.all(np.diff(truth.distances, axis=1) >= 0)
+    assert truth.k == 20
+
+
+def test_single_query_vector():
+    rng = np.random.default_rng(6)
+    data = rng.normal(size=(50, 3))
+    truth = exact_knn(data, data[7], k=1)
+    assert truth.ids[0, 0] == 7
+    assert truth.distances[0, 0] == pytest.approx(0.0, abs=1e-6)
+
+
+def test_k_bounds():
+    data = np.zeros((10, 2))
+    with pytest.raises(ValueError):
+        exact_knn(data, np.zeros((1, 2)), k=0)
+    with pytest.raises(ValueError):
+        exact_knn(data, np.zeros((1, 2)), k=11)

@@ -1,0 +1,59 @@
+"""Tests for repro.eval.harness."""
+
+import pytest
+
+from repro.eval.harness import MethodRun, tune_to_ratio
+
+
+def make_run_fn(table):
+    calls = []
+
+    def run_fn(knob):
+        calls.append(knob)
+        ratio, time_ns = table[knob]
+        return MethodRun(knob=knob, overall_ratio=ratio, mean_time_ns=time_ns)
+
+    return run_fn, calls
+
+
+def test_selects_cheapest_meeting_target():
+    table = {1.0: (1.20, 10.0), 2.0: (1.04, 20.0), 3.0: (1.01, 30.0)}
+    run_fn, _ = make_run_fn(table)
+    tuned = tune_to_ratio("m", run_fn, [1.0, 2.0, 3.0], target_ratio=1.05)
+    assert tuned.selected.knob == 2.0
+    assert tuned.achieved
+    assert len(tuned.runs) == 3
+
+
+def test_falls_back_to_most_accurate():
+    table = {1.0: (1.5, 10.0), 2.0: (1.2, 20.0)}
+    run_fn, _ = make_run_fn(table)
+    tuned = tune_to_ratio("m", run_fn, [1.0, 2.0], target_ratio=1.05)
+    assert tuned.selected.knob == 2.0
+    assert not tuned.achieved
+
+
+def test_stop_early_skips_rest():
+    table = {1.0: (1.04, 10.0), 2.0: (1.01, 20.0)}
+    run_fn, calls = make_run_fn(table)
+    tuned = tune_to_ratio("m", run_fn, [1.0, 2.0], target_ratio=1.05, stop_early=True)
+    assert calls == [1.0]
+    assert tuned.selected.knob == 1.0
+
+
+def test_non_monotone_sweep_picks_fastest_qualifier():
+    table = {1.0: (1.04, 30.0), 2.0: (1.06, 20.0), 3.0: (1.03, 10.0)}
+    run_fn, _ = make_run_fn(table)
+    tuned = tune_to_ratio("m", run_fn, [1.0, 2.0, 3.0], target_ratio=1.05)
+    assert tuned.selected.knob == 3.0  # fastest among qualifying runs
+
+
+def test_empty_knobs_rejected():
+    with pytest.raises(ValueError):
+        tune_to_ratio("m", lambda k: None, [], target_ratio=1.05)
+
+
+def test_method_run_meets():
+    run = MethodRun(knob=1.0, overall_ratio=1.05, mean_time_ns=1.0)
+    assert run.meets(1.05)
+    assert not run.meets(1.049)

@@ -1,0 +1,57 @@
+"""Tests for repro.eval.ratio."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ground_truth import GroundTruth
+from repro.eval.ratio import MISSING_PENALTY_RATIO, overall_ratio, recall_at_k
+
+
+@pytest.fixture
+def truth():
+    return GroundTruth(
+        ids=np.array([[0, 1, 2], [3, 4, 5]]),
+        distances=np.array([[1.0, 2.0, 3.0], [0.5, 1.0, 1.5]]),
+    )
+
+
+def test_exact_answers_score_one(truth):
+    answers = [np.array([1.0, 2.0, 3.0]), np.array([0.5, 1.0, 1.5])]
+    assert overall_ratio(answers, truth, k=3) == pytest.approx(1.0)
+
+
+def test_ratio_reflects_excess_distance(truth):
+    answers = [np.array([2.0, 2.0, 3.0]), np.array([0.5, 1.0, 1.5])]
+    # First query: (2/1 + 1 + 1)/3 = 4/3; second: 1. Mean = 7/6.
+    assert overall_ratio(answers, truth, k=3) == pytest.approx(7 / 6)
+
+
+def test_missing_answers_penalized(truth):
+    answers = [np.array([1.0]), np.array([0.5, 1.0, 1.5])]
+    ratio = overall_ratio(answers, truth, k=3)
+    expected_first = (1.0 + 2 * MISSING_PENALTY_RATIO) / 3
+    assert ratio == pytest.approx((expected_first + 1.0) / 2)
+
+
+def test_better_than_exact_clamped(truth):
+    """Floating-point noise below the exact distance must not give < 1."""
+    answers = [np.array([0.999999, 2.0, 3.0]), np.array([0.5, 1.0, 1.5])]
+    assert overall_ratio(answers, truth, k=3) >= 1.0
+
+
+def test_k_subset(truth):
+    answers = [np.array([1.0]), np.array([0.5])]
+    assert overall_ratio(answers, truth, k=1) == pytest.approx(1.0)
+
+
+def test_length_mismatch(truth):
+    with pytest.raises(ValueError):
+        overall_ratio([np.array([1.0])], truth, k=1)
+    with pytest.raises(ValueError):
+        overall_ratio([np.array([1.0]), np.array([1.0])], truth, k=5)
+
+
+def test_recall(truth):
+    answers = [np.array([0, 9, 2]), np.array([3, 4, 5])]
+    assert recall_at_k(answers, truth, k=3) == pytest.approx((2 / 3 + 1.0) / 2)
+    assert recall_at_k([np.array([0]), np.array([9])], truth, k=1) == pytest.approx(0.5)

@@ -1,0 +1,112 @@
+"""Integration tests: the full pipeline across modules.
+
+These exercise the path a user takes: synthesize a dataset, build the
+in-memory and on-storage indices, answer queries through the simulated
+storage engine, and score accuracy against exact ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.qalsh import QALSHIndex
+from repro.baselines.srs import SRSIndex
+from repro.core.e2lsh import E2LSHIndex
+from repro.core.e2lshos import E2LSHoSIndex
+from repro.core.params import E2LSHParams
+from repro.core.radii import RadiusLadder
+from repro.datasets.registry import load_dataset
+from repro.eval.ground_truth import exact_knn
+from repro.eval.ratio import overall_ratio, recall_at_k
+from repro.storage.blockstore import FileBlockStore, MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine
+from repro.storage.profiles import INTERFACE_PROFILES, make_volume
+
+
+@pytest.fixture(scope="module", params=["sift", "glove"])
+def bundle(request):
+    dataset = load_dataset(request.param, n=3000, n_queries=15, seed=3)
+    truth = exact_knn(dataset.data, dataset.queries, k=10)
+    params = E2LSHParams(n=dataset.n, rho=0.33, gamma=0.5, s_factor=16)
+    ladder = RadiusLadder.for_data(dataset.data, params.c)
+    inmem = E2LSHIndex(dataset.data, params, ladder=ladder, seed=7)
+    storage = E2LSHoSIndex.build(
+        dataset.data, params, store=MemoryBlockStore(), ladder=ladder, seed=7,
+        bank=inmem.bank,
+    )
+    return dataset, truth, inmem, storage
+
+
+def test_e2lsh_reaches_reasonable_accuracy(bundle):
+    dataset, truth, inmem, _ = bundle
+    answers = inmem.query_batch(dataset.queries, k=1)
+    ratio = overall_ratio([a.distances for a in answers], truth, k=1)
+    assert ratio < 1.25
+    assert recall_at_k([a.ids for a in answers], truth, k=1) > 0.4
+
+
+def test_storage_execution_matches_inmemory_accuracy(bundle):
+    dataset, truth, inmem, storage = bundle
+    engine = AsyncIOEngine(
+        make_volume("cssd", 1), INTERFACE_PROFILES["io_uring"], storage.built.store
+    )
+    result = storage.run(dataset.queries, engine, k=1)
+    inmem_answers = inmem.query_batch(dataset.queries, k=1)
+    os_ratio = overall_ratio([a.distances for a in result.answers], truth, k=1)
+    mem_ratio = overall_ratio([a.distances for a in inmem_answers], truth, k=1)
+    assert os_ratio == pytest.approx(mem_ratio, abs=0.02)
+
+
+def test_topk_pipeline(bundle):
+    dataset, truth, inmem, storage = bundle
+    engine = AsyncIOEngine(
+        make_volume("essd", 1), INTERFACE_PROFILES["spdk"], storage.built.store
+    )
+    result = storage.run(dataset.queries, engine, k=10)
+    ratio = overall_ratio([a.distances for a in result.answers], truth, k=10)
+    assert ratio < 2.0  # top-10 on 3k objects with a small budget
+    for answer in result.answers:
+        assert answer.ids.size <= 10
+        assert np.all(np.diff(answer.distances) >= 0)
+
+
+def test_all_methods_beat_random_guessing(bundle):
+    dataset, truth, _, _ = bundle
+    rng = np.random.default_rng(0)
+    random_ratio = overall_ratio(
+        [
+            np.sort(np.linalg.norm(dataset.data[rng.integers(0, dataset.n, 1)] - q, axis=1))
+            for q in dataset.queries.astype(np.float64)
+        ],
+        truth,
+        k=1,
+    )
+    srs = SRSIndex(dataset.data, seed=5)
+    srs_answers = srs.query_batch(dataset.queries, k=1, t_prime=100)
+    srs_ratio = overall_ratio([a.distances for a in srs_answers], truth, k=1)
+    qalsh = QALSHIndex(dataset.data, seed=5)
+    qalsh_answers = qalsh.query_batch(dataset.queries, k=1)
+    qalsh_ratio = overall_ratio([a.distances for a in qalsh_answers], truth, k=1)
+    assert srs_ratio < random_ratio
+    assert qalsh_ratio < random_ratio
+
+
+def test_file_backed_store_end_to_end(tmp_path_factory):
+    """The index works identically on a real on-disk file."""
+    dataset = load_dataset("sift", n=1200, n_queries=6, seed=11)
+    params = E2LSHParams(n=dataset.n, rho=0.33, gamma=0.6, s_factor=8)
+    path = tmp_path_factory.mktemp("index") / "e2lshos.idx"
+    with FileBlockStore(path) as store:
+        storage = E2LSHoSIndex.build(dataset.data, params, store=store, seed=2)
+        engine = AsyncIOEngine(
+            make_volume("cssd", 1), INTERFACE_PROFILES["io_uring"], store
+        )
+        result = storage.run(dataset.queries, engine, k=1)
+        memory_twin = E2LSHoSIndex.build(
+            dataset.data, params, store=MemoryBlockStore(), seed=2
+        )
+        twin_engine = AsyncIOEngine(
+            make_volume("cssd", 1), INTERFACE_PROFILES["io_uring"], memory_twin.built.store
+        )
+        twin = memory_twin.run(dataset.queries, twin_engine, k=1)
+        for a, b in zip(result.answers, twin.answers):
+            np.testing.assert_array_equal(a.ids, b.ids)

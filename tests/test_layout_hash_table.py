@@ -1,0 +1,82 @@
+"""Tests for repro.layout.hash_table."""
+
+import numpy as np
+import pytest
+
+from repro.layout.bucket import NULL_ADDRESS
+from repro.layout.hash_table import SLOT_SIZE, OnStorageHashTable
+from repro.storage.blockstore import MemoryBlockStore
+
+
+def test_initialized_to_null():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=8)
+    assert table.n_slots == 256
+    assert table.size_bytes == 256 * SLOT_SIZE
+    for slot in (0, 17, 255):
+        assert table.read_slot(slot) == NULL_ADDRESS
+
+
+def test_write_and_read_slot():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=4)
+    table.write_slot(3, 0xABCDEF)
+    assert table.read_slot(3) == 0xABCDEF
+    assert table.read_slot(2) == NULL_ADDRESS
+
+
+def test_parse_slot_matches_read():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=4)
+    table.write_slot(1, 12345)
+    raw = store.read(table.slot_address(1), SLOT_SIZE)
+    assert OnStorageHashTable.parse_slot(raw) == 12345
+
+
+def test_bulk_write_table():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=6)
+    image = np.full(64, NULL_ADDRESS, dtype=np.uint64)
+    image[10] = 111
+    image[63] = 222
+    table.write_table(image)
+    assert table.read_slot(10) == 111
+    assert table.read_slot(63) == 222
+    assert table.read_slot(0) == NULL_ADDRESS
+    with pytest.raises(ValueError):
+        table.write_table(np.zeros(10, dtype=np.uint64))
+
+
+def test_write_slots_bulk_pairs():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=5)
+    table.write_slots(np.array([1, 2, 3]), np.array([10, 20, 30], dtype=np.uint64))
+    assert [table.read_slot(s) for s in (1, 2, 3)] == [10, 20, 30]
+    with pytest.raises(ValueError):
+        table.write_slots(np.array([1]), np.array([1, 2], dtype=np.uint64))
+
+
+def test_slot_bounds_checked():
+    store = MemoryBlockStore()
+    table = OnStorageHashTable(store, table_bits=4)
+    with pytest.raises(ValueError):
+        table.slot_address(16)
+    with pytest.raises(ValueError):
+        table.slot_address(-1)
+
+
+def test_two_tables_do_not_overlap():
+    store = MemoryBlockStore()
+    first = OnStorageHashTable(store, table_bits=4)
+    second = OnStorageHashTable(store, table_bits=4)
+    first.write_slot(0, 1)
+    second.write_slot(0, 2)
+    assert first.read_slot(0) == 1
+    assert second.read_slot(0) == 2
+
+
+def test_invalid_bits():
+    store = MemoryBlockStore()
+    for bad in (0, 33):
+        with pytest.raises(ValueError):
+            OnStorageHashTable(store, table_bits=bad)

@@ -1,0 +1,94 @@
+"""Tests for repro.layout.object_info (5-byte object infos, Sec. 5.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layout.object_info import (
+    HASH_VALUE_BITS,
+    OBJECT_INFO_SIZE,
+    ObjectInfoCodec,
+    default_table_bits,
+)
+
+
+def test_entry_is_five_bytes():
+    codec = ObjectInfoCodec(n_objects=1000, table_bits=10)
+    payload = codec.pack(np.array([1, 2, 3]), np.array([4, 5, 6]))
+    assert len(payload) == 3 * OBJECT_INFO_SIZE
+
+
+def test_pack_unpack_roundtrip():
+    codec = ObjectInfoCodec(n_objects=100_000, table_bits=15)
+    ids = np.array([0, 1, 99_999, 4242], dtype=np.uint64)
+    fps = np.array([0, 1, (1 << codec.fingerprint_bits) - 1, 77], dtype=np.uint64)
+    out_ids, out_fps = codec.unpack(codec.pack(ids, fps))
+    np.testing.assert_array_equal(out_ids, ids.astype(np.int64))
+    np.testing.assert_array_equal(out_fps, fps)
+
+
+def test_split_hash_partitions_bits():
+    codec = ObjectInfoCodec(n_objects=1 << 16, table_bits=12)
+    values = np.array([0xDEADBEEF, 0, 0xFFFFFFFF], dtype=np.uint64)
+    slots, fps = codec.split_hash(values)
+    recombined = (fps << np.uint64(12)) | slots
+    np.testing.assert_array_equal(recombined, values)
+    assert slots.max() < (1 << 12)
+
+
+def test_rejects_out_of_range():
+    codec = ObjectInfoCodec(n_objects=100, table_bits=20)
+    # IDs up to 2^id_bits - 1 are allowed (headroom for inserts)...
+    codec.pack(np.array([(1 << codec.id_bits) - 1]), np.array([0]))
+    # ...but not beyond the id_bits field.
+    with pytest.raises(ValueError):
+        codec.pack(np.array([1 << codec.id_bits]), np.array([0]))
+    with pytest.raises(ValueError):
+        codec.pack(np.array([0]), np.array([1 << codec.fingerprint_bits]))
+    with pytest.raises(ValueError):
+        codec.unpack(b"123")  # not a multiple of 5
+
+
+def test_rejects_overflowing_layout():
+    # 31 ID bits + 31 fingerprint bits > 40 bits.
+    with pytest.raises(ValueError):
+        ObjectInfoCodec(n_objects=1 << 31, table_bits=1)
+
+
+def test_default_table_bits_tracks_log2n():
+    assert default_table_bits(1_000) == 10
+    assert default_table_bits(20_000) == 15
+    assert default_table_bits(1) == 8  # clamped low
+    assert default_table_bits(1 << 40) == 28  # clamped high
+    with pytest.raises(ValueError):
+        default_table_bits(0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    table_bits=st.integers(min_value=8, max_value=28),
+    data=st.data(),
+)
+def test_property_roundtrip_any_bits(table_bits, data):
+    # The 5-byte entry requires id_bits + (32 - u) <= 40, i.e.
+    # n <= 2^(8 + u) (Sec. 5.2's layout constraint).
+    n_cap = min(1 << 20, 1 << (8 + table_bits))
+    n_objects = data.draw(st.integers(min_value=2, max_value=n_cap))
+    codec = ObjectInfoCodec(n_objects=n_objects, table_bits=table_bits)
+    size = data.draw(st.integers(min_value=1, max_value=50))
+    ids = data.draw(
+        st.lists(st.integers(0, n_objects - 1), min_size=size, max_size=size)
+    )
+    fps = data.draw(
+        st.lists(
+            st.integers(0, (1 << codec.fingerprint_bits) - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    ids_arr = np.array(ids, dtype=np.uint64)
+    fps_arr = np.array(fps, dtype=np.uint64)
+    out_ids, out_fps = codec.unpack(codec.pack(ids_arr, fps_arr))
+    np.testing.assert_array_equal(out_ids, ids_arr.astype(np.int64))
+    np.testing.assert_array_equal(out_fps, fps_arr)

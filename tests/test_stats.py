@@ -1,0 +1,51 @@
+"""Tests for repro.stats (operation counters and query statistics)."""
+
+import pytest
+
+from repro.stats import OpCounts, QueryStats
+
+
+def test_opcounts_add_accumulates_every_field():
+    a = OpCounts(
+        projection_scalar_ops=1,
+        distance_scalar_ops=2,
+        candidate_fetches=3,
+        bucket_lookups=4,
+        tree_node_visits=5,
+        btree_entry_scans=6,
+        heap_ops=7,
+        rounds=8,
+    )
+    b = OpCounts(projection_scalar_ops=10, rounds=1)
+    a.add(b)
+    assert a.projection_scalar_ops == 11
+    assert a.rounds == 9
+    assert a.heap_ops == 7
+
+
+def test_opcounts_scaled_rounds_down():
+    ops = OpCounts(candidate_fetches=5)
+    assert ops.scaled(0.5).candidate_fetches == 2
+    assert ops.scaled(2.0).candidate_fetches == 10
+
+
+def test_query_stats_merge():
+    a = QueryStats(rungs_searched=2, nonempty_buckets=3, bucket_sizes_examined=[1, 2])
+    b = QueryStats(rungs_searched=1, nonempty_buckets=4, bucket_sizes_examined=[5])
+    a.merge(b)
+    assert a.rungs_searched == 3
+    assert a.nonempty_buckets == 7
+    assert a.bucket_sizes_examined == [1, 2, 5]
+
+
+def test_n_io_infinite_block():
+    stats = QueryStats(nonempty_buckets=13)
+    assert stats.n_io_infinite_block == pytest.approx(26.0)
+
+
+def test_compat_shim_reexports():
+    from repro.core.query_stats import OpCounts as ShimOps
+    from repro.core.query_stats import QueryStats as ShimStats
+
+    assert ShimOps is OpCounts
+    assert ShimStats is QueryStats

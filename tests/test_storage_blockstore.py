@@ -1,0 +1,95 @@
+"""Tests for repro.storage.blockstore."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.blockstore import FileBlockStore, MemoryBlockStore
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryBlockStore()
+    else:
+        with FileBlockStore(tmp_path / "store.bin") as file_store:
+            yield file_store
+
+
+def test_allocate_returns_monotonic_addresses(store):
+    a = store.allocate(100)
+    b = store.allocate(50)
+    assert a == 0
+    assert b == 100
+    assert store.size_bytes == 150
+
+
+def test_write_read_roundtrip(store):
+    address = store.allocate(16)
+    store.write(address, b"hello world 1234")
+    assert store.read(address, 16) == b"hello world 1234"
+    assert store.read(address + 6, 5) == b"world"
+
+
+def test_fresh_allocation_is_zeroed(store):
+    address = store.allocate(32)
+    assert store.read(address, 32) == b"\x00" * 32
+
+
+def test_out_of_bounds_rejected(store):
+    store.allocate(8)
+    with pytest.raises(ValueError):
+        store.read(4, 8)
+    with pytest.raises(ValueError):
+        store.write(4, b"too long!")
+    with pytest.raises(ValueError):
+        store.read(-1, 2)
+
+
+def test_allocate_rejects_nonpositive(store):
+    for bad in (0, -5):
+        with pytest.raises(ValueError):
+            store.allocate(bad)
+
+
+def test_file_store_persists_to_disk(tmp_path):
+    path = tmp_path / "persist.bin"
+    with FileBlockStore(path) as store:
+        address = store.allocate(4)
+        store.write(address, b"abcd")
+    assert path.read_bytes() == b"abcd"
+
+
+def test_file_store_reopens_existing(tmp_path):
+    path = tmp_path / "reopen.bin"
+    with FileBlockStore(path) as store:
+        store.write(store.allocate(8), b"deadbeef")
+    with FileBlockStore(path) as reopened:
+        assert reopened.size_bytes == 8
+        assert reopened.read(0, 8) == b"deadbeef"
+        # New allocations append after the existing content.
+        assert reopened.allocate(4) == 8
+
+
+def test_write_accounting(store):
+    assert store.bytes_written == 0
+    address = store.allocate(64)
+    store.write(address, b"x" * 10)
+    store.write(address + 10, b"y" * 6)
+    assert store.bytes_written == 16
+    assert store.write_count == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    chunks=st.lists(st.binary(min_size=1, max_size=200), min_size=1, max_size=20),
+)
+def test_property_many_writes_roundtrip(chunks):
+    store = MemoryBlockStore()
+    placed = []
+    for chunk in chunks:
+        address = store.allocate(len(chunk))
+        store.write(address, chunk)
+        placed.append((address, chunk))
+    for address, chunk in placed:
+        assert store.read(address, len(chunk)) == chunk

@@ -1,0 +1,86 @@
+"""Tests for repro.storage.device."""
+
+import heapq
+
+import pytest
+
+from repro.storage.device import DeviceProfile, StorageDevice
+from repro.storage.profiles import DEVICE_PROFILES
+from repro.utils.units import NS_PER_S
+
+
+def closed_loop_iops(device: StorageDevice, queue_depth: int, n: int = 2000) -> float:
+    outstanding: list[float] = []
+    submitted = 0
+    now = 0.0
+    last = 0.0
+    while submitted < n or outstanding:
+        while submitted < n and len(outstanding) < queue_depth:
+            heapq.heappush(outstanding, device.submit(now, 512))
+            submitted += 1
+        now = heapq.heappop(outstanding)
+        last = max(last, now)
+    return n * NS_PER_S / last
+
+
+def test_qd1_matches_latency():
+    profile = DEVICE_PROFILES["cssd"]
+    measured = closed_loop_iops(StorageDevice(profile), queue_depth=1)
+    assert measured == pytest.approx(profile.qd1_iops, rel=0.05)
+
+
+def test_high_qd_saturates_at_max_iops():
+    profile = DEVICE_PROFILES["essd"]
+    measured = closed_loop_iops(StorageDevice(profile), queue_depth=256, n=5000)
+    assert measured == pytest.approx(profile.max_iops, rel=0.05)
+
+
+def test_throughput_monotone_in_queue_depth():
+    profile = DEVICE_PROFILES["cssd"]
+    rates = [closed_loop_iops(StorageDevice(profile), qd, n=1000) for qd in (1, 4, 16, 64)]
+    assert rates == sorted(rates)
+
+
+def test_latency_inflates_near_saturation():
+    device = StorageDevice(DEVICE_PROFILES["cssd"])
+    closed_loop_iops(device, queue_depth=1, n=500)
+    low_latency = device.stats.mean_latency_ns
+    device.reset()
+    closed_loop_iops(device, queue_depth=256, n=500)
+    assert device.stats.mean_latency_ns > low_latency
+
+
+def test_analytic_queue_depth_model():
+    profile = DEVICE_PROFILES["xlfdd"]
+    assert profile.iops_at_queue_depth(1) == pytest.approx(profile.qd1_iops)
+    assert profile.iops_at_queue_depth(10_000) == profile.max_iops
+
+
+def test_submit_validates_length():
+    device = StorageDevice(DEVICE_PROFILES["cssd"])
+    with pytest.raises(ValueError):
+        device.submit(0.0, 0)
+
+
+def test_bandwidth_term_slows_large_reads():
+    profile = DEVICE_PROFILES["cssd"]
+    device = StorageDevice(profile)
+    small = device.submit(0.0, 512)
+    device.reset()
+    large = device.submit(0.0, 1024 * 1024)
+    assert large > small
+
+
+def test_reset_clears_stats():
+    device = StorageDevice(DEVICE_PROFILES["cssd"])
+    device.submit(0.0, 512)
+    device.reset()
+    assert device.stats.completed == 0
+    assert device.stats.observed_iops() == 0.0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DeviceProfile(name="bad", latency_ns=0, max_iops=1000)
+    with pytest.raises(ValueError):
+        DeviceProfile(name="bad", latency_ns=100, max_iops=-1)

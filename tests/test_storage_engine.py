@@ -1,0 +1,172 @@
+"""Tests for repro.storage.engine — the async I/O engine semantics."""
+
+import pytest
+
+from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.engine import AsyncIOEngine, Compute, Read, ReadBatch
+from repro.storage.interface import StorageInterface
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
+from repro.storage.raid import StripedVolume
+
+
+def make_engine(interface=None, count=1):
+    store = MemoryBlockStore()
+    address = store.allocate(1 << 18)
+    store.write(address, bytes(range(256)) * 1024)
+    volume = StripedVolume.of(DEVICE_PROFILES["cssd"], count)
+    engine = AsyncIOEngine(volume, interface or INTERFACE_PROFILES["io_uring"], store)
+    return engine, store
+
+
+def reader_task(addresses, length=512):
+    total = b""
+    for address in addresses:
+        data = yield Read(address, length)
+        total += data
+    return total
+
+
+def compute_task(duration):
+    yield Compute(duration)
+    return "done"
+
+
+def test_read_returns_actual_bytes():
+    engine, store = make_engine()
+
+    def task():
+        data = yield Read(8, 4)
+        return data
+
+    result = engine.run([task()])
+    assert result.results[0] == store.read(8, 4)
+
+
+def test_read_batch_returns_list_in_order():
+    engine, store = make_engine()
+
+    def task():
+        payload = yield ReadBatch([(0, 4), (16, 4), (32, 4)])
+        return payload
+
+    result = engine.run([task()])
+    assert result.results[0] == [store.read(0, 4), store.read(16, 4), store.read(32, 4)]
+
+
+def test_compute_only_task_costs_exactly_its_duration():
+    engine, _ = make_engine()
+    result = engine.run([compute_task(12_345.0)])
+    assert result.makespan_ns == pytest.approx(12_345.0)
+    assert result.compute_ns == pytest.approx(12_345.0)
+    assert result.io_count == 0
+
+
+def test_sync_interface_serializes_latency():
+    """Eq. 6: with a synchronous interface every read blocks the CPU."""
+    engine, _ = make_engine(interface=INTERFACE_PROFILES["mmap_sync"])
+    n_reads = 10
+    result = engine.run([reader_task([i * 512 for i in range(n_reads)])])
+    latency = DEVICE_PROFILES["cssd"].latency_ns
+    # Makespan at least N * (latency) — no overlap possible.
+    assert result.makespan_ns >= n_reads * latency
+    assert result.stall_ns > 0
+
+
+def test_async_interleaving_overlaps_io():
+    """Eq. 7: many interleaved tasks approach max(compute, io) time."""
+    n_tasks, reads_per_task = 32, 8
+    engine, _ = make_engine()
+    tasks = [
+        reader_task([(t * reads_per_task + i) * 512 for i in range(reads_per_task)])
+        for t in range(n_tasks)
+    ]
+    result = engine.run(tasks)
+    total_reads = n_tasks * reads_per_task
+    serialized = total_reads * DEVICE_PROFILES["cssd"].latency_ns
+    # Interleaving must beat the fully-serialized time by a wide margin.
+    assert result.makespan_ns < serialized / 4
+    assert result.io_count == total_reads
+
+
+def test_async_single_task_still_waits_for_device():
+    engine, _ = make_engine()
+    result = engine.run([reader_task([0])])
+    assert result.makespan_ns >= DEVICE_PROFILES["cssd"].latency_ns
+
+
+def test_interface_overhead_charged_per_request():
+    engine, _ = make_engine()
+    n = 20
+    result = engine.run([reader_task([i * 512 for i in range(n)])])
+    assert result.io_cpu_ns == pytest.approx(n * INTERFACE_PROFILES["io_uring"].cpu_overhead_ns)
+
+
+def test_multiple_workers_split_compute():
+    engine, _ = make_engine()
+    tasks = [compute_task(1000.0) for _ in range(8)]
+    serial = engine.run(tasks, workers=1).makespan_ns
+    parallel = engine.run([compute_task(1000.0) for _ in range(8)], workers=4).makespan_ns
+    assert serial == pytest.approx(8_000.0)
+    assert parallel == pytest.approx(2_000.0)
+
+
+def test_workers_share_device_bound():
+    """Storage saturation limits all workers collectively (Fig. 16)."""
+    def io_heavy(base):
+        for i in range(50):
+            yield Read((base * 50 + i) * 512, 512)
+        return None
+
+    engine, _ = make_engine()
+    one = engine.run([io_heavy(i) for i in range(8)], workers=1)
+    engine2, _ = make_engine()
+    many = engine2.run([io_heavy(i) for i in range(8)], workers=8)
+    # With I/O dominating, adding CPUs cannot multiply throughput by 8.
+    assert many.makespan_ns > one.makespan_ns / 4
+
+
+def test_empty_read_batch_is_noop():
+    engine, _ = make_engine()
+
+    def task():
+        payload = yield ReadBatch([])
+        return payload
+
+    result = engine.run([task()])
+    assert result.results[0] == []
+    assert result.io_count == 0
+
+
+def test_unsupported_action_raises():
+    engine, _ = make_engine()
+
+    def task():
+        yield "bogus"
+
+    with pytest.raises(TypeError):
+        engine.run([task()])
+
+
+def test_invalid_worker_count():
+    engine, _ = make_engine()
+    with pytest.raises(ValueError):
+        engine.run([], workers=0)
+
+
+def test_results_keep_submission_order():
+    engine, _ = make_engine()
+
+    def task(value, reads):
+        for i in range(reads):
+            yield Read(i * 512, 16)
+        return value
+
+    result = engine.run([task("a", 5), task("b", 1), task("c", 3)])
+    assert result.results == ["a", "b", "c"]
+
+
+def test_tasks_per_second_and_mean_time():
+    engine, _ = make_engine()
+    result = engine.run([compute_task(1e6), compute_task(1e6)])
+    assert result.mean_task_time_ns == pytest.approx(1e6)
+    assert result.tasks_per_second == pytest.approx(1000.0)

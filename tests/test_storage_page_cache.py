@@ -1,0 +1,86 @@
+"""Tests for repro.storage.page_cache."""
+
+import pytest
+
+from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.page_cache import PAGE_SIZE, PageCache
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
+from repro.storage.raid import StripedVolume
+
+
+def make_cache(capacity_pages=4):
+    store = MemoryBlockStore()
+    address = store.allocate(64 * PAGE_SIZE)
+    store.write(address, bytes([i % 256 for i in range(64 * PAGE_SIZE)]))
+    volume = StripedVolume.of(DEVICE_PROFILES["cssd"], 1)
+    cache = PageCache(
+        volume=volume,
+        store=store,
+        interface=INTERFACE_PROFILES["mmap_sync"],
+        capacity_bytes=capacity_pages * PAGE_SIZE,
+    )
+    return cache, store
+
+
+def test_miss_then_hit():
+    cache, store = make_cache()
+    data, t1 = cache.read(0.0, 100, 16)
+    assert data == store.read(100, 16)
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+    data, t2 = cache.read(t1, 100, 16)
+    assert cache.stats.hits == 1
+    # Hit is far cheaper than the miss (no device latency).
+    assert (t2 - t1) < (t1 - 0.0) / 10
+
+
+def test_miss_blocks_for_device_latency():
+    cache, _ = make_cache()
+    _, completion = cache.read(0.0, 0, 8)
+    assert completion >= DEVICE_PROFILES["cssd"].latency_ns
+
+
+def test_lru_eviction():
+    cache, _ = make_cache(capacity_pages=2)
+    clock = 0.0
+    for page in (0, 1, 2):  # page 0 evicted when 2 is admitted
+        _, clock = cache.read(clock, page * PAGE_SIZE, 8)
+    assert cache.stats.misses == 3
+    _, clock = cache.read(clock, 1 * PAGE_SIZE, 8)  # still resident
+    assert cache.stats.hits == 1
+    _, clock = cache.read(clock, 0 * PAGE_SIZE, 8)  # was evicted
+    assert cache.stats.misses == 4
+
+
+def test_read_spanning_pages_touches_each():
+    cache, store = make_cache()
+    data, _ = cache.read(0.0, PAGE_SIZE - 8, 16)
+    assert data == store.read(PAGE_SIZE - 8, 16)
+    assert cache.stats.accesses == 2
+
+
+def test_random_access_defeats_small_cache():
+    """The Sec. 6.5 effect: random access over a large span misses."""
+    cache, _ = make_cache(capacity_pages=2)
+    clock = 0.0
+    for i in range(40):
+        page = (i * 17) % 60
+        _, clock = cache.read(clock, page * PAGE_SIZE, 8)
+    assert cache.stats.miss_rate > 0.8
+
+
+def test_reset():
+    cache, _ = make_cache()
+    cache.read(0.0, 0, 8)
+    cache.reset()
+    assert cache.stats.accesses == 0
+
+
+def test_rejects_async_interface_and_bad_sizes():
+    store = MemoryBlockStore()
+    store.allocate(PAGE_SIZE)
+    volume = StripedVolume.of(DEVICE_PROFILES["cssd"], 1)
+    with pytest.raises(ValueError):
+        PageCache(volume, store, INTERFACE_PROFILES["io_uring"], capacity_bytes=PAGE_SIZE)
+    cache = PageCache(volume, store, INTERFACE_PROFILES["mmap_sync"], capacity_bytes=PAGE_SIZE)
+    with pytest.raises(ValueError):
+        cache.read(0.0, 0, 0)

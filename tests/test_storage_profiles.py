@@ -1,0 +1,61 @@
+"""Tests for repro.storage.profiles and interface models."""
+
+import pytest
+
+from repro.storage.interface import StorageInterface
+from repro.storage.profiles import (
+    DEVICE_PROFILES,
+    INTERFACE_PROFILES,
+    STORAGE_CONFIGS,
+    make_engine,
+    make_volume,
+)
+from repro.storage.blockstore import MemoryBlockStore
+from repro.utils.units import NS_PER_S
+
+
+def test_device_catalog_matches_table2_calibration():
+    cssd = DEVICE_PROFILES["cssd"]
+    assert cssd.qd1_iops == pytest.approx(7_200)
+    assert cssd.max_iops == 273_000
+    essd = DEVICE_PROFILES["essd"]
+    assert essd.qd1_iops == pytest.approx(27_600)
+    assert essd.max_iops == 1_400_000
+    xlfdd = DEVICE_PROFILES["xlfdd"]
+    assert xlfdd.qd1_iops == pytest.approx(132_300)
+    assert xlfdd.max_iops == 3_860_000
+
+
+def test_interface_catalog_matches_table3():
+    assert INTERFACE_PROFILES["io_uring"].cpu_overhead_ns == 1_000
+    assert INTERFACE_PROFILES["spdk"].cpu_overhead_ns == 350
+    assert INTERFACE_PROFILES["xlfdd"].cpu_overhead_ns == 50
+    assert INTERFACE_PROFILES["mmap_sync"].synchronous
+    assert not INTERFACE_PROFILES["io_uring"].synchronous
+
+
+def test_max_iops_per_core_is_reciprocal():
+    interface = StorageInterface(name="x", cpu_overhead_ns=500.0)
+    assert interface.max_iops_per_core == pytest.approx(NS_PER_S / 500.0)
+
+
+def test_storage_configs_match_table5():
+    assert STORAGE_CONFIGS["cssd_x4"].count == 4
+    assert STORAGE_CONFIGS["essd_x8"].total_max_iops == pytest.approx(8 * 1_400_000)
+    assert STORAGE_CONFIGS["xlfdd_x12"].count == 12
+
+
+def test_make_volume_and_engine():
+    volume = make_volume("essd", 2)
+    assert volume.device_count == 2
+    engine = make_engine(MemoryBlockStore(), device="cssd", count=1, interface="spdk")
+    assert engine.interface.name == "spdk"
+    with pytest.raises(KeyError):
+        make_volume("floppy", 1)
+    with pytest.raises(KeyError):
+        make_engine(MemoryBlockStore(), interface="carrier-pigeon")
+
+
+def test_interface_validation():
+    with pytest.raises(ValueError):
+        StorageInterface(name="bad", cpu_overhead_ns=0)

@@ -1,0 +1,60 @@
+"""Tests for repro.storage.raid."""
+
+import pytest
+
+from repro.storage.device import StorageDevice
+from repro.storage.profiles import DEVICE_PROFILES
+from repro.storage.raid import StripedVolume
+
+
+def make_volume(count=4, stripe=512):
+    return StripedVolume.of(DEVICE_PROFILES["cssd"], count, stripe)
+
+
+def test_round_robin_routing_by_block():
+    volume = make_volume(count=4, stripe=512)
+    assert volume.device_for(0) is volume.devices[0]
+    assert volume.device_for(511) is volume.devices[0]
+    assert volume.device_for(512) is volume.devices[1]
+    assert volume.device_for(512 * 5) is volume.devices[1]
+
+
+def test_striping_multiplies_throughput():
+    single = make_volume(count=1)
+    quad = make_volume(count=4)
+    assert quad.max_iops == pytest.approx(4 * single.max_iops)
+    # Spread submissions land on different devices, so completions do
+    # not serialize behind one device's regulator.
+    t_single = max(single.submit(0.0, i * 512, 512) for i in range(64))
+    t_quad = max(quad.submit(0.0, i * 512, 512) for i in range(64))
+    assert t_quad < t_single
+
+
+def test_combined_stats_merges_devices():
+    volume = make_volume(count=2)
+    for i in range(10):
+        volume.submit(0.0, i * 512, 512)
+    merged = volume.combined_stats()
+    assert merged.completed == 10
+    assert merged.completed == sum(d.stats.completed for d in volume.devices)
+
+
+def test_reset_propagates():
+    volume = make_volume(count=2)
+    volume.submit(0.0, 0, 512)
+    volume.reset()
+    assert all(d.stats.completed == 0 for d in volume.devices)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        StripedVolume([], stripe_unit=512)
+    with pytest.raises(ValueError):
+        StripedVolume([StorageDevice(DEVICE_PROFILES["cssd"])], stripe_unit=0)
+    with pytest.raises(ValueError):
+        StripedVolume.of(DEVICE_PROFILES["cssd"], 0)
+
+
+def test_capacity_aggregates():
+    volume = make_volume(count=3)
+    assert volume.capacity_bytes == 3 * DEVICE_PROFILES["cssd"].capacity_bytes

@@ -1,0 +1,40 @@
+"""Tests for repro.utils.units."""
+
+from repro.utils.units import (
+    GIB,
+    KIB,
+    MIB,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    TIB,
+    format_bytes,
+    format_iops,
+    format_time,
+)
+
+
+def test_time_unit_constants_consistent():
+    assert NS_PER_US * 1_000 == NS_PER_MS
+    assert NS_PER_MS * 1_000 == NS_PER_S
+
+
+def test_format_time_picks_natural_unit():
+    assert format_time(12) == "12 ns"
+    assert format_time(1_500) == "1.50 us"
+    assert format_time(2_500_000) == "2.50 ms"
+    assert format_time(3_200_000_000) == "3.20 s"
+
+
+def test_format_bytes_binary_prefixes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(2 * KIB) == "2.00 KiB"
+    assert format_bytes(3 * MIB) == "3.00 MiB"
+    assert format_bytes(4 * GIB) == "4.00 GiB"
+    assert format_bytes(5 * TIB) == "5.00 TiB"
+
+
+def test_format_iops_matches_paper_style():
+    assert format_iops(273_000) == "273.0 kIOPS"
+    assert format_iops(1_400_000) == "1.40 MIOPS"
+    assert format_iops(210) == "210.0 IOPS"
