@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Load-testing a sharded E2LSHoS query service.
+
+A single async E2LSHoS node saturates its device at a few thousand
+queries per second (Eq. 7: the deep I/O queue makes it IOPS-bound).
+This example puts the serving subsystem in front of the simulator and
+answers the operational questions that follow:
+
+1. Where does one shard saturate, and what does its p99 look like as an
+   open-loop arrival rate approaches that point?
+2. How much saturation headroom do 4 shards buy under the two
+   partitioning families (object-partitioned ``hash`` vs
+   table-partitioned ``table``)?
+3. What does the capacity planner prescribe for a target QPS and p99?
+
+Run:  python examples/serving_loadtest.py
+"""
+
+import numpy as np
+
+from repro.analysis.requirements import plan_capacity
+from repro.core.params import E2LSHParams
+from repro.datasets.registry import load_dataset
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.ratio import overall_ratio
+from repro.serving import (
+    ClosedLoopWorkload,
+    DispatchConfig,
+    OpenLoopWorkload,
+    QueryService,
+    ShardedIndex,
+)
+from repro.storage.profiles import DEVICE_PROFILES
+from repro.utils.units import NS_PER_MS, format_time
+
+N = 4_000
+K = 10
+DEVICE = "cssd"
+
+
+def build_service(data: np.ndarray, n_shards: int, scheme: str) -> QueryService:
+    params = E2LSHParams(n=data.shape[0], rho=0.32, gamma=0.5, s_factor=32.0)
+    sharded = ShardedIndex.build(
+        data, params, n_shards=n_shards, scheme=scheme, device=DEVICE, seed=1
+    )
+    return QueryService(sharded, dispatch=DispatchConfig(max_batch=8, max_delay_ns=50_000))
+
+
+def main() -> None:
+    dataset = load_dataset("sift", n=N, n_queries=32, seed=1)
+    truth = exact_knn(dataset.data, dataset.queries, k=K)
+
+    # 1. Open-loop latency vs offered load on a single shard.
+    single = build_service(dataset.data, n_shards=1, scheme="hash")
+    print("single shard, open-loop Poisson arrivals:")
+    print(f"{'offered q/s':>12s} {'achieved':>9s} {'p50':>9s} {'p99':>9s} {'rejected':>8s}")
+    for qps in (1_000, 2_000, 4_000, 8_000):
+        workload = OpenLoopWorkload(qps=qps, n_queries=256, arrivals="poisson", seed=1)
+        report = single.run_open_loop(dataset.queries, workload, k=K)
+        print(
+            f"{qps:>12,} {report.throughput_qps:>9,.0f} "
+            f"{format_time(report.p50_ns):>9s} {format_time(report.p99_ns):>9s} "
+            f"{report.rejected:>8d}"
+        )
+
+    # 2. Closed-loop saturation: 1 shard vs 4 shards, both families.
+    print("\nclosed-loop saturation (32 clients):")
+    workload = ClosedLoopWorkload(concurrency=32, n_queries=256, seed=1)
+    for n_shards, scheme in ((1, "hash"), (4, "hash"), (4, "table")):
+        service = build_service(dataset.data, n_shards=n_shards, scheme=scheme)
+        report = service.run_closed_loop(dataset.queries, workload, k=K)
+        answers = [service.answers[q].distances for q in sorted(service.answers)]
+        pool_order = np.array(
+            [r.pool_index for r in sorted(service.stats.records, key=lambda r: r.query_id)]
+        )
+        asked_truth = GroundTruth(
+            ids=truth.ids[pool_order], distances=truth.distances[pool_order]
+        )
+        ratio = overall_ratio(answers, asked_truth, k=K)
+        print(
+            f"  {n_shards} shard(s) [{scheme:5s}]: {report.throughput_qps:>7,.0f} q/s, "
+            f"p99 {format_time(report.p99_ns)}, "
+            f"{report.mean_ios_per_query:.1f} IO/query, ratio {ratio:.4f}"
+        )
+
+    # 3. Capacity plan: 50k q/s at 2 ms p99 on this workload.
+    report = build_service(dataset.data, 4, "table").run_closed_loop(
+        dataset.queries, workload, k=K
+    )
+    plan = plan_capacity(
+        n_io_per_query=report.mean_ios_per_query,
+        target_qps=50_000,
+        target_p99_ns=2.0 * NS_PER_MS,
+        device_max_iops=DEVICE_PROFILES[DEVICE].max_iops,
+        latency_floor_ns=report.p50_ns,
+    )
+    print(f"\ncapacity plan for 50k q/s @ 2 ms p99:\n  {plan.describe()}")
+
+
+if __name__ == "__main__":
+    main()

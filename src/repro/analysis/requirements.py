@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.analysis.cost_model import required_iops, required_request_rate
 from repro.stats import QueryStats
 from repro.layout.bucket import entries_per_block
+from repro.utils.units import format_iops, format_time
 
 __all__ = [
     "average_n_io",
@@ -25,6 +26,8 @@ __all__ = [
     "RequirementCurve",
     "requirement_curve",
     "inmemory_cpu_requirement_scale",
+    "CapacityPlan",
+    "plan_capacity",
 ]
 
 #: Sec. 4.5: in-memory E2LSH spends ~10% of its time on footprint stalls,
@@ -121,3 +124,129 @@ def requirement_curve(
         for ratio, n_io, target, compute in zip(ratios, n_ios, target_ns, compute_ns)
     )
     return RequirementCurve(label=label, points=points)
+
+
+# --------------------------------------------------------------------------
+# Service capacity planning: "how many shards for X QPS at Y ms p99?"
+# --------------------------------------------------------------------------
+
+#: Default fraction of a device's saturated IOPS to plan against.  Past
+#: this load the closed-queue device model (and real SSDs, Sec. 6.5 /
+#: Figure 15) inflates latency sharply, so tail-latency SLOs need slack.
+DEFAULT_UTILIZATION_CAP = 0.7
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Shard count needed to serve a QPS target under a p99 SLO.
+
+    The IOPS balance is Eq. 11 applied fleet-wide: the service must
+    absorb ``target_qps * n_io_per_query`` random reads per second, and
+    each shard contributes ``devices_per_shard * device_max_iops *
+    utilization_cap`` of planned capacity.  The latency side is a
+    *feasibility check*, not a queueing model: ``latency_floor_ns`` is a
+    measured light-load latency (e.g. the p99 of an unloaded shard), and
+    no amount of sharding gets under it because every query visits every
+    shard (scatter-gather).
+    """
+
+    target_qps: float
+    target_p99_ns: float
+    n_io_per_query: float
+    device_max_iops: float
+    devices_per_shard: int
+    utilization_cap: float
+    latency_floor_ns: float
+
+    @property
+    def required_fleet_iops(self) -> float:
+        """Random-read IOPS the whole fleet must absorb."""
+        return self.target_qps * self.n_io_per_query
+
+    @property
+    def per_shard_planned_iops(self) -> float:
+        """IOPS one shard contributes at the planned utilization."""
+        return self.device_max_iops * self.devices_per_shard * self.utilization_cap
+
+    @property
+    def required_shards(self) -> int:
+        """Minimum shard count satisfying the IOPS balance."""
+        return max(1, math.ceil(self.required_fleet_iops / self.per_shard_planned_iops))
+
+    @property
+    def total_devices(self) -> int:
+        """Devices across the fleet."""
+        return self.required_shards * self.devices_per_shard
+
+    @property
+    def expected_utilization(self) -> float:
+        """Device utilization at the target rate with the planned fleet."""
+        capacity = self.required_shards * self.devices_per_shard * self.device_max_iops
+        return self.required_fleet_iops / capacity
+
+    @property
+    def feasible(self) -> bool:
+        """True if the SLO clears the measured light-load latency floor."""
+        return self.latency_floor_ns <= self.target_p99_ns
+
+    def describe(self) -> str:
+        """One-paragraph human-readable plan (CLI output)."""
+        head = (
+            f"{self.target_qps:,.0f} q/s x {self.n_io_per_query:.1f} IO/query = "
+            f"{format_iops(self.required_fleet_iops)} fleet-wide; "
+            f"{self.required_shards} shard(s) x {self.devices_per_shard} device(s) "
+            f"at <= {self.utilization_cap:.0%} utilization "
+            f"(expected {self.expected_utilization:.0%})"
+        )
+        if self.feasible:
+            tail = (
+                f"; p99 target {format_time(self.target_p99_ns)} clears the "
+                f"light-load floor {format_time(self.latency_floor_ns)}"
+            )
+        else:
+            tail = (
+                f"; INFEASIBLE: p99 target {format_time(self.target_p99_ns)} is below "
+                f"the light-load floor {format_time(self.latency_floor_ns)} — "
+                "sharding cannot help (every query visits every shard)"
+            )
+        return head + tail
+
+
+def plan_capacity(
+    n_io_per_query: float,
+    target_qps: float,
+    target_p99_ns: float,
+    device_max_iops: float,
+    devices_per_shard: int = 1,
+    utilization_cap: float = DEFAULT_UTILIZATION_CAP,
+    latency_floor_ns: float = 0.0,
+) -> CapacityPlan:
+    """Size a sharded service for ``target_qps`` at a p99 SLO.
+
+    ``n_io_per_query`` comes from measurement (``average_n_io`` or a
+    load test's observed I/O count per completed query);
+    ``latency_floor_ns`` from a light-load run of one shard.
+    """
+    if n_io_per_query < 0:
+        raise ValueError(f"n_io_per_query must be >= 0, got {n_io_per_query}")
+    if target_qps <= 0:
+        raise ValueError(f"target_qps must be positive, got {target_qps}")
+    if target_p99_ns <= 0:
+        raise ValueError(f"target_p99_ns must be positive, got {target_p99_ns}")
+    if device_max_iops <= 0:
+        raise ValueError(f"device_max_iops must be positive, got {device_max_iops}")
+    if devices_per_shard < 1:
+        raise ValueError(f"devices_per_shard must be >= 1, got {devices_per_shard}")
+    if not 0 < utilization_cap <= 1:
+        raise ValueError(f"utilization_cap must be in (0, 1], got {utilization_cap}")
+    if latency_floor_ns < 0:
+        raise ValueError(f"latency_floor_ns must be >= 0, got {latency_floor_ns}")
+    return CapacityPlan(
+        target_qps=target_qps,
+        target_p99_ns=target_p99_ns,
+        n_io_per_query=n_io_per_query,
+        device_max_iops=device_max_iops,
+        devices_per_shard=devices_per_shard,
+        utilization_cap=utilization_cap,
+        latency_floor_ns=latency_floor_ns,
+    )

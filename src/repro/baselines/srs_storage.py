@@ -16,13 +16,12 @@ for a tree workload (the ablation benchmark) — not a production index.
 from __future__ import annotations
 
 import heapq
-import math
 import struct
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines.rtree import RTree, _Node
+from repro.baselines.rtree import _Node
 from repro.baselines.srs import SRSIndex
 from repro.storage.blockstore import BlockStore
 from repro.storage.engine import Compute, ReadBatch, Task

@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.analysis.cost_model import required_iops, required_request_rate
 from repro.analysis.machine_model import DEFAULT_MACHINE
-from repro.analysis.requirements import average_n_io
+from repro.analysis.requirements import average_n_io, plan_capacity
 from repro.core.e2lsh import E2LSHIndex
 from repro.core.e2lshos import E2LSHoSIndex
 from repro.core.params import E2LSHParams
@@ -32,9 +32,13 @@ from repro.datasets.registry import DATASET_NAMES, DATASET_SPECS, load_dataset
 from repro.eval.ground_truth import exact_knn
 from repro.eval.ratio import overall_ratio
 from repro.io.persistence import load_index, save_index
+from repro.serving.dispatcher import DispatchConfig
+from repro.serving.loadgen import ClosedLoopWorkload, OpenLoopWorkload
+from repro.serving.service import QueryService
+from repro.serving.sharding import PARTITION_SCHEMES, ShardedIndex
 from repro.storage.blockstore import FileBlockStore
 from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES, make_engine
-from repro.utils.units import format_bytes, format_iops, format_time
+from repro.utils.units import NS_PER_MS, NS_PER_US, format_bytes, format_iops, format_time
 
 __all__ = ["main", "build_parser"]
 
@@ -48,10 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("info", help="list datasets, devices, and interfaces")
 
-    def common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--dataset", choices=DATASET_NAMES, required=True)
-        p.add_argument("--n", type=int, default=10_000, help="database size")
-        p.add_argument("--queries", type=int, default=20, help="query count")
+    def common(
+        p: argparse.ArgumentParser,
+        dataset_default: str | None = None,
+        n_default: int = 10_000,
+        queries_default: int = 20,
+    ) -> None:
+        p.add_argument(
+            "--dataset",
+            choices=DATASET_NAMES,
+            required=dataset_default is None,
+            default=dataset_default,
+        )
+        p.add_argument("--n", type=int, default=n_default, help="database size")
+        p.add_argument("--queries", type=int, default=queries_default, help="query count")
         p.add_argument("--seed", type=int, default=1)
         p.add_argument("--rho", type=float, default=None, help="index exponent")
         p.add_argument("--gamma", type=float, default=0.5, help="accuracy knob")
@@ -77,6 +91,36 @@ def build_parser() -> argparse.ArgumentParser:
     common(analyze)
     analyze.add_argument("--target-ms", type=float, default=0.5)
     analyze.add_argument("-k", type=int, default=1)
+
+    loadtest = sub.add_parser(
+        "loadtest", help="drive a sharded query service and report latency SLOs"
+    )
+    common(loadtest, dataset_default="sift", n_default=4_000, queries_default=32)
+    loadtest.add_argument("-k", type=int, default=10)
+    loadtest.add_argument("--shards", type=int, default=1)
+    loadtest.add_argument("--scheme", choices=PARTITION_SCHEMES, default="hash")
+    loadtest.add_argument("--device", choices=sorted(DEVICE_PROFILES), default="cssd")
+    loadtest.add_argument("--devices-per-shard", type=int, default=1)
+    loadtest.add_argument(
+        "--interface",
+        choices=[n for n, p in INTERFACE_PROFILES.items() if not p.synchronous],
+        default="io_uring",
+    )
+    loadtest.add_argument("--workers", type=int, default=1, help="CPU workers per shard")
+    loadtest.add_argument("--mode", choices=("open", "closed"), default="open")
+    loadtest.add_argument("--qps", type=float, default=2_000.0, help="open-loop rate")
+    loadtest.add_argument("--arrivals", choices=("poisson", "uniform"), default="poisson")
+    loadtest.add_argument(
+        "--concurrency", type=int, default=16, help="closed-loop client count"
+    )
+    loadtest.add_argument("--requests", type=int, default=256, help="total queries")
+    loadtest.add_argument("--zipf", type=float, default=0.0, help="query reuse skew")
+    loadtest.add_argument("--batch", type=int, default=8, help="micro-batch size")
+    loadtest.add_argument("--batch-delay-us", type=float, default=50.0)
+    loadtest.add_argument("--queue-capacity", type=int, default=512)
+    loadtest.add_argument(
+        "--target-p99-ms", type=float, default=2.0, help="SLO for the capacity plan"
+    )
     return parser
 
 
@@ -170,6 +214,68 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace, out) -> int:
+    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
+    params = _params(args, dataset.n)
+    sharded = ShardedIndex.build(
+        dataset.data,
+        params,
+        n_shards=args.shards,
+        scheme=args.scheme,
+        device=args.device,
+        devices_per_shard=args.devices_per_shard,
+        interface=args.interface,
+        seed=args.seed,
+    )
+    service = QueryService(
+        sharded,
+        dispatch=DispatchConfig(
+            max_batch=args.batch,
+            max_delay_ns=args.batch_delay_us * NS_PER_US,
+            queue_capacity=args.queue_capacity,
+        ),
+        workers_per_shard=args.workers,
+    )
+    if args.mode == "open":
+        workload = OpenLoopWorkload(
+            qps=args.qps,
+            n_queries=args.requests,
+            arrivals=args.arrivals,
+            zipf_s=args.zipf,
+            seed=args.seed,
+        )
+        report = service.run_open_loop(dataset.queries, workload, k=args.k)
+        offered = f"offered {args.qps:,.0f} q/s ({args.arrivals})"
+    else:
+        workload = ClosedLoopWorkload(
+            concurrency=args.concurrency,
+            n_queries=args.requests,
+            zipf_s=args.zipf,
+            seed=args.seed,
+        )
+        report = service.run_closed_loop(dataset.queries, workload, k=args.k)
+        offered = f"closed loop, {args.concurrency} clients"
+    out.write(
+        f"{args.shards} shard(s) ({args.scheme}) on {args.device} "
+        f"x{args.devices_per_shard} ({args.interface}), {offered}\n"
+    )
+    out.write(report.describe() + "\n")
+    # Plan for the offered rate (open loop) or the rate the fleet proved
+    # it can sustain (closed loop).  The fastest observed query is the
+    # closest available proxy for the light-load latency floor — unlike
+    # this run's p50/p99 it excludes queueing and batching delay.
+    plan = plan_capacity(
+        n_io_per_query=report.mean_ios_per_query,
+        target_qps=args.qps if args.mode == "open" else report.throughput_qps,
+        target_p99_ns=args.target_p99_ms * NS_PER_MS,
+        device_max_iops=DEVICE_PROFILES[args.device].max_iops,
+        devices_per_shard=args.devices_per_shard,
+        latency_floor_ns=float(service.stats.latencies_ns().min()),
+    )
+    out.write(f"capacity plan: {plan.describe()}\n")
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -182,6 +288,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_query(args, out)
     if args.command == "analyze":
         return _cmd_analyze(args, out)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -127,11 +127,50 @@ class E2LSHoSIndex:
 
     # -- query tasks ----------------------------------------------------------
 
-    def query_task(self, query: np.ndarray, k: int = 1) -> Task:
-        """Cooperative task answering one query (drive with the engine)."""
-        return self._run_query(np.asarray(query, dtype=np.float32).reshape(-1), k)
+    def query_task(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        id_map: np.ndarray | None = None,
+        stop_k: int | None = None,
+    ) -> Task:
+        """Cooperative task answering one query (drive with the engine).
 
-    def _run_query(self, query: np.ndarray, k: int) -> Task:
+        ``id_map`` remaps the answer's object IDs through a lookup table
+        before the task returns — a shard answering on behalf of a
+        sharded service reports *global* IDs this way, so the dispatcher
+        can merge shard answers without knowing the partitioning.
+
+        ``stop_k`` decouples the rung-descent termination quota from the
+        answer size: a shard holding 1/N of the database stops once it
+        has ``ceil(k/N) + slack`` candidates within ``c * R`` (its
+        expected share of the global top-k) while still *reporting* up
+        to ``k`` so a skewed partition cannot starve the merge.
+        Defaults to ``k`` (the paper's single-node condition).
+        """
+        stop_k = k if stop_k is None else stop_k
+        if stop_k < 1:
+            raise ValueError(f"stop_k must be >= 1, got {stop_k}")
+        task = self._run_query(
+            np.asarray(query, dtype=np.float32).reshape(-1), k, stop_k
+        )
+        if id_map is None:
+            return task
+        if id_map.shape[0] < self.built.params.n:
+            raise ValueError(
+                f"id_map covers {id_map.shape[0]} objects, index holds {self.built.params.n}"
+            )
+        return self._remap_ids(task, id_map)
+
+    @staticmethod
+    def _remap_ids(task: Task, id_map: np.ndarray) -> Task:
+        answer: QueryAnswer = yield from task
+        ids = id_map[answer.ids] if answer.ids.size else answer.ids
+        return QueryAnswer(
+            ids=np.asarray(ids, dtype=np.int64), distances=answer.distances, stats=answer.stats
+        )
+
+    def _run_query(self, query: np.ndarray, k: int, stop_k: int) -> Task:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         d = self.data.shape[1]
@@ -224,7 +263,7 @@ class E2LSHoSIndex:
                     pool_ids = np.concatenate([pool_ids, new])
                     pool_dists = np.concatenate([pool_dists, dists])
 
-            if pool_ids.size and int((pool_dists <= params.c * radius).sum()) >= k:
+            if pool_ids.size and int((pool_dists <= params.c * radius).sum()) >= stop_k:
                 break
 
         if pool_ids.size == 0:

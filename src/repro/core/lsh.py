@@ -15,6 +15,7 @@ per-table universal mix of the ``m`` integer lattice codes.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -80,6 +81,30 @@ class CompoundHashBank:
             mixers=self.mixers[:, :m_new],
             m=m_new,
             L=self.L,
+            w=self.w,
+        )
+
+    def select_tables(self, tables: "Sequence[int] | np.ndarray") -> "CompoundHashBank":
+        """A bank holding only the given compound hashes (tables).
+
+        Each compound hash is independent, so any subset is itself a
+        valid bank over the same data.  This is how a table-partitioned
+        deployment (PLSH-style) gives every shard its own disjoint slice
+        of the L tables while all shards hash identically to the
+        single-node index.
+        """
+        tables = np.asarray(tables, dtype=np.int64)
+        if tables.size < 1:
+            raise ValueError("need at least one table")
+        if tables.min() < 0 or tables.max() >= self.L or np.unique(tables).size != tables.size:
+            raise ValueError(f"tables must be distinct indices in [0, {self.L}), got {tables}")
+        columns = (tables[:, None] * self.m + np.arange(self.m)[None, :]).reshape(-1)
+        return CompoundHashBank(
+            a=self.a[:, columns],
+            b=self.b[columns],
+            mixers=self.mixers[tables],
+            m=self.m,
+            L=int(tables.size),
             w=self.w,
         )
 

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.e2lsh import E2LSHIndex, QueryAnswer
-from repro.stats import OpCounts, QueryStats
+from repro.stats import QueryStats
 
 __all__ = ["MultiProbeE2LSH", "perturbation_sequence"]
 

@@ -48,6 +48,13 @@ class E2LSHParams:
     gamma: float = 1.0
     #: Candidate-count multiplier: S = s_factor * L (the paper uses 2L).
     s_factor: float = 2.0
+    #: Explicit overrides of the derived m / L / S.  The paper itself
+    #: treats L as a per-dataset design choice (Table 4); a sharded
+    #: deployment uses these to give every shard the *full* dataset's
+    #: hash structure while n reflects only the shard's subset.
+    m_explicit: int | None = None
+    L_explicit: int | None = None
+    S_explicit: int | None = None
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -62,6 +69,13 @@ class E2LSHParams:
             raise ValueError(f"gamma must be positive, got {self.gamma}")
         if self.s_factor <= 0:
             raise ValueError(f"s_factor must be positive, got {self.s_factor}")
+        for label, value in (
+            ("m_explicit", self.m_explicit),
+            ("L_explicit", self.L_explicit),
+            ("S_explicit", self.S_explicit),
+        ):
+            if value is not None and value < 1:
+                raise ValueError(f"{label} must be >= 1, got {value}")
 
     @property
     def p1(self) -> float:
@@ -76,17 +90,23 @@ class E2LSHParams:
     @property
     def m(self) -> int:
         """Hash functions per compound hash: ``ceil(gamma * log_{1/p2} n)``."""
+        if self.m_explicit is not None:
+            return self.m_explicit
         base = math.log(max(self.n, 2)) / math.log(1.0 / self.p2)
         return max(1, math.ceil(self.gamma * base))
 
     @property
     def L(self) -> int:
         """Number of compound hashes (hash tables per radius): ``ceil(n^rho)``."""
+        if self.L_explicit is not None:
+            return self.L_explicit
         return max(1, math.ceil(self.n**self.rho))
 
     @property
     def S(self) -> int:
         """Candidate budget per radius: ``s_factor * L`` (paper: 2L)."""
+        if self.S_explicit is not None:
+            return self.S_explicit
         return max(1, math.ceil(self.s_factor * self.L))
 
     @property

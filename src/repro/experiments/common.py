@@ -33,7 +33,7 @@ from repro.core.params import E2LSHParams
 from repro.core.query_stats import QueryStats
 from repro.core.radii import RadiusLadder
 from repro.datasets.base import Dataset
-from repro.datasets.registry import DATASET_SPECS, DatasetSpec
+from repro.datasets.registry import DATASET_SPECS
 from repro.eval.ground_truth import GroundTruth, exact_knn
 from repro.eval.harness import MethodRun, TunedMethod, tune_to_ratio
 from repro.eval.ratio import overall_ratio

@@ -29,7 +29,6 @@ from repro.analysis.requirements import (
     average_n_io,
     requirement_curve,
 )
-from repro.eval.harness import TunedMethod
 from repro.experiments.common import time_at_ratio, tuned_e2lsh, tuned_srs
 from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
 from repro.experiments.tables import render_table

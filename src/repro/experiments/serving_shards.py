@@ -1,0 +1,111 @@
+"""Sharded-serving scale-out: saturation QPS and tail latency vs shards.
+
+Not a paper figure — this drives the serving subsystem that grows the
+reproduction toward the ROADMAP's "heavy traffic" north star.  A
+closed-loop client fleet saturates each deployment, giving its peak
+sustainable throughput and the latency distribution at that load:
+
+- 1 shard on one device: the paper's single-node async E2LSHoS
+  (IOPS-bound, Eq. 7) wrapped in the service stack;
+- 4 object-partitioned shards (``hash``): DRAM and storage scale out,
+  but a probed bucket's entries spread over shards, so fleet-wide I/O
+  per query inflates by up to ``min(bucket_size, N)``;
+- 4 table-partitioned shards (``table``): fleet-wide I/O matches the
+  single node (the same buckets, distributed), so saturation QPS tracks
+  the aggregate device IOPS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.params import E2LSHParams
+from repro.datasets.registry import DATASET_SPECS, load_dataset
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.ratio import overall_ratio
+from repro.experiments.config import ExperimentScale
+from repro.serving import ClosedLoopWorkload, QueryService, ShardedIndex
+from repro.utils.units import format_time
+
+__all__ = ["ServingRow", "run", "format_table", "CONFIGS"]
+
+K = 10
+CONCURRENCY = 32
+REQUESTS = 256
+#: (shard count, partition scheme) deployments compared.
+CONFIGS: tuple[tuple[int, str], ...] = ((1, "hash"), (4, "hash"), (4, "table"))
+
+
+@dataclass(frozen=True)
+class ServingRow:
+    """Closed-loop saturation measurements of one deployment."""
+
+    n_shards: int
+    scheme: str
+    qps: float
+    p50_ns: float
+    p99_ns: float
+    ios_per_query: float
+    ratio: float
+
+
+def run(
+    scale: ExperimentScale,
+    dataset_name: str,
+    configs: tuple[tuple[int, str], ...] = CONFIGS,
+) -> list[ServingRow]:
+    """Measure saturation throughput and p99 for each deployment."""
+    dataset = load_dataset(
+        dataset_name, n=scale.n, n_queries=scale.n_queries, seed=scale.seed
+    )
+    spec = DATASET_SPECS[dataset_name]
+    params = E2LSHParams(n=dataset.n, rho=spec.rho, gamma=0.5, s_factor=32.0)
+    truth = exact_knn(dataset.data, dataset.queries, k=K)
+    workload = ClosedLoopWorkload(
+        concurrency=CONCURRENCY, n_queries=REQUESTS, seed=scale.seed
+    )
+    rows: list[ServingRow] = []
+    for n_shards, scheme in configs:
+        sharded = ShardedIndex.build(
+            dataset.data, params, n_shards=n_shards, scheme=scheme, seed=scale.seed
+        )
+        service = QueryService(sharded)
+        report = service.run_closed_loop(dataset.queries, workload, k=K)
+        records = sorted(service.stats.records, key=lambda r: r.query_id)
+        answers = [service.answers[r.query_id].distances for r in records]
+        asked = np.array([r.pool_index for r in records])
+        ratio = overall_ratio(
+            answers,
+            GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]),
+            k=K,
+        )
+        rows.append(
+            ServingRow(
+                n_shards=n_shards,
+                scheme=scheme,
+                qps=report.throughput_qps,
+                p50_ns=report.p50_ns,
+                p99_ns=report.p99_ns,
+                ios_per_query=report.mean_ios_per_query,
+                ratio=ratio,
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[ServingRow]) -> str:
+    """Render the comparison the way the paper's tables read."""
+    lines = [
+        f"{'deployment':>16s} {'sat. q/s':>10s} {'p50':>10s} {'p99':>10s} "
+        f"{'IO/query':>9s} {'ratio':>6s}"
+    ]
+    for row in rows:
+        label = f"{row.n_shards} x {row.scheme}"
+        lines.append(
+            f"{label:>16s} {row.qps:>10,.0f} {format_time(row.p50_ns):>10s} "
+            f"{format_time(row.p99_ns):>10s} {row.ios_per_query:>9.1f} "
+            f"{row.ratio:>6.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Multi-shard query serving on top of the E2LSHoS simulator.
+
+The paper's async engine (Sec. 5.4, Eq. 7) makes a single disk-resident
+index CPU/IOPS-bound; this package puts a *service* in front of it:
+
+- :mod:`repro.serving.sharding` — partition a dataset across shards,
+  each with its own index, device volume, and engine; scatter-gather
+  top-k merging.
+- :mod:`repro.serving.dispatcher` — bounded admission queues and
+  micro-batching in front of the shards.
+- :mod:`repro.serving.loadgen` — open-loop (Poisson / uniform arrivals,
+  optional Zipf-skewed query reuse) and closed-loop workloads.
+- :mod:`repro.serving.stats` — throughput, latency percentiles, queue
+  depth, and per-shard IOPS accounting.
+- :mod:`repro.serving.service` — the discrete-event loop tying arrivals,
+  dispatch, and shard engines together in simulated time.
+"""
+
+from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.loadgen import (
+    Arrival,
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySelector,
+    open_loop_arrivals,
+)
+from repro.serving.service import QueryService
+from repro.serving.sharding import Shard, ShardedIndex, ShardPlan, merge_answers, plan_shards
+from repro.serving.stats import ServiceReport, ServiceStats, percentile
+
+__all__ = [
+    "Arrival",
+    "ClosedLoopWorkload",
+    "DispatchConfig",
+    "Dispatcher",
+    "OpenLoopWorkload",
+    "QueryService",
+    "QuerySelector",
+    "ServiceReport",
+    "ServiceStats",
+    "Shard",
+    "ShardPlan",
+    "ShardedIndex",
+    "merge_answers",
+    "open_loop_arrivals",
+    "percentile",
+    "plan_shards",
+]

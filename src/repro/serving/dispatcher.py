@@ -1,0 +1,143 @@
+"""Admission control and micro-batching in front of the shards.
+
+The dispatcher keeps one *lane* per shard.  An admitted query fans out
+into one sub-query task per shard (scatter-gather); each lane buffers
+its sub-queries and releases them to the shard's engine session as a
+micro-batch when either
+
+- ``max_batch`` sub-queries are waiting (size trigger), or
+- the oldest waiting sub-query has been queued ``max_delay_ns`` (time
+  trigger — bounds the latency cost of batching at low load).
+
+Admission is bounded per shard by ``queue_capacity`` *outstanding*
+sub-queries (queued plus in flight).  A query is admitted only if every
+lane has a free slot; otherwise it is shed and counted — the service
+degrades by rejecting load instead of growing queues without bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.serving.sharding import ShardedIndex
+from repro.serving.stats import ServiceStats
+from repro.storage.engine import EngineSession, Task
+
+__all__ = ["DispatchConfig", "Dispatcher"]
+
+
+@dataclass(frozen=True)
+class DispatchConfig:
+    """Micro-batching and admission-control knobs."""
+
+    #: Size trigger: flush a lane once this many sub-queries wait.
+    max_batch: int = 8
+    #: Time trigger: flush no later than first-enqueue + this delay.
+    max_delay_ns: float = 50_000.0
+    #: Max outstanding sub-queries per shard (queued + in flight).
+    queue_capacity: int = 512
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ns < 0:
+            raise ValueError(f"max_delay_ns must be >= 0, got {self.max_delay_ns}")
+        if self.queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
+
+
+@dataclass
+class _Lane:
+    """Per-shard admission queue."""
+
+    pending: list[tuple[int, Task]] = field(default_factory=list)
+    first_enqueue_ns: float = math.inf
+    outstanding: int = 0
+
+    @property
+    def deadline_ns(self) -> float:
+        return self.first_enqueue_ns
+
+
+class Dispatcher:
+    """Routes admitted queries into per-shard micro-batched sessions."""
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        sessions: list[EngineSession],
+        config: DispatchConfig,
+        stats: ServiceStats,
+    ) -> None:
+        if len(sessions) != sharded.n_shards:
+            raise ValueError(
+                f"{sharded.n_shards} shards need {sharded.n_shards} sessions, "
+                f"got {len(sessions)}"
+            )
+        self.sharded = sharded
+        self.sessions = sessions
+        self.config = config
+        self.stats = stats
+        self._lanes = [_Lane() for _ in sharded.shards]
+
+    # -- admission ------------------------------------------------------------
+
+    def admit(self, now_ns: float, query_id: int, query: np.ndarray, k: int) -> bool:
+        """Fan ``query`` out to every lane; False = shed by admission."""
+        if any(lane.outstanding >= self.config.queue_capacity for lane in self._lanes):
+            self.stats.record_rejection()
+            return False
+        for shard, lane in zip(self.sharded.shards, self._lanes):
+            lane.pending.append((query_id, shard.query_task(query, k=k)))
+            lane.outstanding += 1
+            if len(lane.pending) == 1:
+                lane.first_enqueue_ns = now_ns
+            self.stats.queue_depth_samples.append(len(lane.pending))
+        # Size trigger fires during admission, batching B queries exactly.
+        for position, lane in enumerate(self._lanes):
+            if len(lane.pending) >= self.config.max_batch:
+                self._flush(position, now_ns)
+        return True
+
+    # -- flushing -------------------------------------------------------------
+
+    @property
+    def has_pending(self) -> bool:
+        """True while any lane holds unflushed sub-queries."""
+        return any(lane.pending for lane in self._lanes)
+
+    @property
+    def next_flush_ns(self) -> float:
+        """Earliest time trigger across lanes (``inf`` when all empty)."""
+        deadlines = [
+            lane.deadline_ns + self.config.max_delay_ns
+            for lane in self._lanes
+            if lane.pending
+        ]
+        return min(deadlines, default=math.inf)
+
+    def flush_due(self, now_ns: float) -> None:
+        """Fire every lane whose time trigger has passed."""
+        for position, lane in enumerate(self._lanes):
+            if lane.pending and lane.deadline_ns + self.config.max_delay_ns <= now_ns:
+                self._flush(position, now_ns)
+
+    def _flush(self, position: int, now_ns: float) -> None:
+        lane = self._lanes[position]
+        self.stats.batch_sizes.append(len(lane.pending))
+        for query_id, task in lane.pending:
+            self.sessions[position].submit(task, ready_ns=now_ns, tag=query_id)
+        lane.pending.clear()
+        lane.first_enqueue_ns = math.inf
+
+    # -- completion bookkeeping ----------------------------------------------
+
+    def subquery_done(self, position: int) -> None:
+        """Release one outstanding slot on shard ``position``."""
+        lane = self._lanes[position]
+        if lane.outstanding <= 0:
+            raise RuntimeError(f"shard {position} has no outstanding sub-queries")
+        lane.outstanding -= 1

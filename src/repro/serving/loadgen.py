@@ -1,0 +1,124 @@
+"""Workload generation: open-loop and closed-loop query streams.
+
+Open loop models independent users: arrivals follow a Poisson process
+(or a uniform ticker) at a configured rate, regardless of how fast the
+service answers — the regime where queues grow and tail latency blows up
+past saturation.  Closed loop models a fixed fleet of clients that each
+wait for their answer (plus think time) before asking again — the regime
+that measures *saturation throughput*.
+
+Query content is drawn from a fixed pool of vectors.  By default the
+pool is cycled round-robin; a Zipf exponent > 0 skews reuse toward the
+head of the pool, the classic "popular queries" shape that makes
+result/page caching worthwhile (a ROADMAP follow-on).
+
+Everything is deterministic given the workload seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.units import NS_PER_S
+
+__all__ = [
+    "Arrival",
+    "QuerySelector",
+    "OpenLoopWorkload",
+    "ClosedLoopWorkload",
+    "open_loop_arrivals",
+]
+
+ARRIVAL_PROCESSES = ("poisson", "uniform")
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One query entering the service."""
+
+    query_id: int
+    time_ns: float
+    #: Index into the query pool (repeats under Zipf-skewed reuse).
+    pool_index: int
+
+
+class QuerySelector:
+    """Maps query sequence numbers to query-pool indices."""
+
+    def __init__(self, pool_size: int, zipf_s: float = 0.0, seed: int = 0) -> None:
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        if zipf_s < 0:
+            raise ValueError(f"zipf_s must be non-negative, got {zipf_s}")
+        self.pool_size = pool_size
+        self.zipf_s = zipf_s
+        self._rng = np.random.default_rng(seed)
+        if zipf_s > 0:
+            weights = 1.0 / np.arange(1, pool_size + 1, dtype=np.float64) ** zipf_s
+            self._weights = weights / weights.sum()
+        else:
+            self._weights = None
+
+    def select(self, sequence: int) -> int:
+        """Pool index of the ``sequence``-th query."""
+        if self._weights is None:
+            return sequence % self.pool_size
+        return int(self._rng.choice(self.pool_size, p=self._weights))
+
+
+@dataclass(frozen=True)
+class OpenLoopWorkload:
+    """Arrival process with a fixed offered rate."""
+
+    qps: float
+    n_queries: int
+    arrivals: str = "poisson"
+    zipf_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.n_queries < 1:
+            raise ValueError(f"n_queries must be >= 1, got {self.n_queries}")
+        if self.arrivals not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"unknown arrival process {self.arrivals!r}; known: {ARRIVAL_PROCESSES}"
+            )
+
+
+@dataclass(frozen=True)
+class ClosedLoopWorkload:
+    """Fixed client fleet; a new query is issued only on completion."""
+
+    concurrency: int
+    n_queries: int
+    think_time_ns: float = 0.0
+    zipf_s: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.n_queries < 1:
+            raise ValueError(f"n_queries must be >= 1, got {self.n_queries}")
+        if self.think_time_ns < 0:
+            raise ValueError(f"think_time_ns must be >= 0, got {self.think_time_ns}")
+
+
+def open_loop_arrivals(workload: OpenLoopWorkload, pool_size: int) -> list[Arrival]:
+    """Materialize the full arrival sequence of an open-loop workload."""
+    rng = np.random.default_rng(workload.seed)
+    mean_gap_ns = NS_PER_S / workload.qps
+    if workload.arrivals == "poisson":
+        gaps = rng.exponential(mean_gap_ns, size=workload.n_queries)
+    else:
+        gaps = np.full(workload.n_queries, mean_gap_ns)
+    times = np.cumsum(gaps)
+    selector = QuerySelector(pool_size, zipf_s=workload.zipf_s, seed=workload.seed + 1)
+    return [
+        Arrival(query_id=i, time_ns=float(times[i]), pool_index=selector.select(i))
+        for i in range(workload.n_queries)
+    ]

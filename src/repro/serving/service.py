@@ -1,0 +1,188 @@
+"""The query service: arrivals -> dispatcher -> shard engines, in one
+simulated clock.
+
+The loop is a three-source discrete-event simulation.  At every
+iteration the earliest of
+
+1. the next query arrival,
+2. the next micro-batch time trigger (dispatcher lane deadline),
+3. the next resumable task on any shard's engine session
+
+is processed.  Shard sessions advance independently (each shard owns its
+device volume), but completions feed back into the loop: the last shard
+answer of a query completes it, and — under a closed-loop workload —
+issues that client's next query.  The scatter-gather merge itself is
+charged zero time (a k-way merge of a few dozen candidates is noise next
+to hashing and I/O).
+
+Rejected queries (bounded admission) complete immediately from the
+client's point of view: an open-loop client just goes away; a
+closed-loop client retries after the micro-batch delay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.core.e2lsh import QueryAnswer
+from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.loadgen import (
+    Arrival,
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySelector,
+    open_loop_arrivals,
+)
+from repro.serving.sharding import ShardedIndex, merge_answers
+from repro.serving.stats import ServiceReport, ServiceStats
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """Serves top-k queries over a :class:`ShardedIndex` in simulated time."""
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        dispatch: DispatchConfig | None = None,
+        workers_per_shard: int = 1,
+    ) -> None:
+        self.sharded = sharded
+        self.dispatch = dispatch or DispatchConfig()
+        self.workers_per_shard = workers_per_shard
+        #: Merged answers of the last run, keyed by query id.
+        self.answers: dict[int, QueryAnswer] = {}
+        #: Collector of the last run.
+        self.stats = ServiceStats()
+
+    # -- public entry points --------------------------------------------------
+
+    def run_open_loop(
+        self, pool: np.ndarray, workload: OpenLoopWorkload, k: int = 10
+    ) -> ServiceReport:
+        """Offer a fixed arrival rate; report what the service sustained."""
+        pool = self._check_pool(pool)
+        arrivals = open_loop_arrivals(workload, pool.shape[0])
+        return self._run(pool, arrivals, on_done=None, k=k)
+
+    def run_closed_loop(
+        self, pool: np.ndarray, workload: ClosedLoopWorkload, k: int = 10
+    ) -> ServiceReport:
+        """Run a fixed client fleet to completion (saturation throughput)."""
+        pool = self._check_pool(pool)
+        selector = QuerySelector(
+            pool.shape[0], zipf_s=workload.zipf_s, seed=workload.seed + 1
+        )
+        issued = min(workload.concurrency, workload.n_queries)
+        initial = [
+            Arrival(query_id=i, time_ns=0.0, pool_index=selector.select(i))
+            for i in range(issued)
+        ]
+        state = {"issued": issued}
+
+        def on_done(now_ns: float) -> Arrival | None:
+            if state["issued"] >= workload.n_queries:
+                return None
+            query_id = state["issued"]
+            state["issued"] += 1
+            return Arrival(
+                query_id=query_id,
+                time_ns=now_ns + workload.think_time_ns,
+                pool_index=selector.select(query_id),
+            )
+
+        return self._run(pool, initial, on_done=on_done, k=k)
+
+    # -- the event loop -------------------------------------------------------
+
+    def _run(
+        self,
+        pool: np.ndarray,
+        arrivals: list[Arrival],
+        on_done: Callable[[float], Arrival | None] | None,
+        k: int,
+    ) -> ServiceReport:
+        self.stats = ServiceStats()
+        self.answers = {}
+        sessions = [
+            shard.engine.session(workers=self.workers_per_shard)
+            for shard in self.sharded.shards
+        ]
+        dispatcher = Dispatcher(self.sharded, sessions, self.dispatch, self.stats)
+        n_shards = self.sharded.n_shards
+
+        arrival_heap = [(a.time_ns, a.query_id, a.pool_index) for a in arrivals]
+        heapq.heapify(arrival_heap)
+        #: query_id -> (arrival_ns, pool_index, parts, latest finish so far)
+        in_flight: dict[int, tuple[float, int, list[QueryAnswer], float]] = {}
+
+        def issue(arrival: Arrival | None) -> None:
+            if arrival is not None:
+                heapq.heappush(
+                    arrival_heap, (arrival.time_ns, arrival.query_id, arrival.pool_index)
+                )
+
+        while arrival_heap or dispatcher.has_pending or any(s.has_work for s in sessions):
+            t_arrival = arrival_heap[0][0] if arrival_heap else math.inf
+            t_flush = dispatcher.next_flush_ns
+            engine_position = min(
+                range(n_shards), key=lambda i: sessions[i].next_ready_ns
+            )
+            t_engine = sessions[engine_position].next_ready_ns
+            now = min(t_arrival, t_flush, t_engine)
+            if math.isinf(now):  # pragma: no cover - defensive
+                break
+
+            if t_arrival <= min(t_flush, t_engine):
+                _, query_id, pool_index = heapq.heappop(arrival_heap)
+                if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
+                    in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
+                elif on_done is not None:
+                    # Closed loop: the shed client retries after a backoff.
+                    issue(
+                        Arrival(
+                            query_id=query_id,
+                            time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
+                            pool_index=pool_index,
+                        )
+                    )
+                continue
+
+            if t_flush <= t_engine:
+                dispatcher.flush_due(t_flush)
+                continue
+
+            completion = sessions[engine_position].step()
+            if completion is None:
+                continue
+            dispatcher.subquery_done(engine_position)
+            query_id = completion.tag
+            arrival_ns, pool_index, parts, latest = in_flight[query_id]
+            parts.append(completion.result)
+            latest = max(latest, completion.finish_ns)
+            if len(parts) < n_shards:
+                in_flight[query_id] = (arrival_ns, pool_index, parts, latest)
+                continue
+            del in_flight[query_id]
+            self.answers[query_id] = merge_answers(parts, k)
+            self.stats.record_completion(query_id, pool_index, arrival_ns, latest)
+            if on_done is not None:
+                issue(on_done(latest))
+
+        if in_flight:  # pragma: no cover - defensive
+            raise RuntimeError(f"{len(in_flight)} queries never completed")
+        return self.stats.report([session.result() for session in sessions])
+
+    @staticmethod
+    def _check_pool(pool: np.ndarray) -> np.ndarray:
+        pool = np.asarray(pool, dtype=np.float32)
+        if pool.ndim == 1:
+            pool = pool[None, :]
+        if pool.ndim != 2 or pool.shape[0] < 1:
+            raise ValueError(f"query pool must be (m, d) with m >= 1, got {pool.shape}")
+        return pool

@@ -1,0 +1,162 @@
+"""Service-level statistics: throughput, tail latency, queues, IOPS.
+
+Latency here is *service* latency — simulated arrival to last-shard
+completion, including admission queueing and micro-batching delay — not
+the bare engine makespan of a batch run.  Percentiles use the
+nearest-rank definition (deterministic, no interpolation), which is what
+SLO accounting wants: "p99 = 2.1 ms" means 99% of completed queries
+finished in at most 2.1 ms of simulated time.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.engine import EngineResult
+from repro.utils.units import NS_PER_S, format_iops, format_time
+
+__all__ = ["percentile", "QueryRecord", "ServiceStats", "ServiceReport"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile: smallest value with ≥ p% at or below it."""
+    if not 0 < p <= 100:
+        raise ValueError(f"p must be in (0, 100], got {p}")
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("no values to take a percentile of")
+    rank = math.ceil(p / 100 * len(ordered))
+    return float(ordered[rank - 1])
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """Lifecycle of one completed query."""
+
+    query_id: int
+    #: Which vector of the query pool was asked (Zipf reuse repeats these).
+    pool_index: int
+    arrival_ns: float
+    finish_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-completion service latency."""
+        return self.finish_ns - self.arrival_ns
+
+
+@dataclass
+class ServiceStats:
+    """Mutable collector filled in by the service loop."""
+
+    records: list[QueryRecord] = field(default_factory=list)
+    rejected: int = 0
+    #: Admission-queue depth sampled at every enqueue (all shards pooled).
+    queue_depth_samples: list[int] = field(default_factory=list)
+    #: Sub-queries per dispatched micro-batch.
+    batch_sizes: list[int] = field(default_factory=list)
+
+    def record_completion(
+        self, query_id: int, pool_index: int, arrival_ns: float, finish_ns: float
+    ) -> None:
+        """Note one query finishing."""
+        self.records.append(
+            QueryRecord(
+                query_id=query_id,
+                pool_index=pool_index,
+                arrival_ns=arrival_ns,
+                finish_ns=finish_ns,
+            )
+        )
+
+    def record_rejection(self) -> None:
+        """Note one query shed by admission control."""
+        self.rejected += 1
+
+    def latencies_ns(self) -> np.ndarray:
+        """Completed-query latencies in completion order."""
+        return np.array([record.latency_ns for record in self.records], dtype=np.float64)
+
+    def report(self, shard_results: Sequence[EngineResult]) -> "ServiceReport":
+        """Freeze the run into a :class:`ServiceReport`."""
+        if not self.records:
+            raise ValueError("no completed queries to report on")
+        latencies = self.latencies_ns()
+        first_arrival = min(record.arrival_ns for record in self.records)
+        last_finish = max(record.finish_ns for record in self.records)
+        duration = max(last_finish - first_arrival, 1.0)
+        return ServiceReport(
+            completed=len(self.records),
+            rejected=self.rejected,
+            duration_ns=duration,
+            throughput_qps=len(self.records) * NS_PER_S / duration,
+            mean_latency_ns=float(latencies.mean()),
+            p50_ns=percentile(latencies, 50),
+            p95_ns=percentile(latencies, 95),
+            p99_ns=percentile(latencies, 99),
+            max_latency_ns=float(latencies.max()),
+            mean_queue_depth=(
+                float(np.mean(self.queue_depth_samples)) if self.queue_depth_samples else 0.0
+            ),
+            max_queue_depth=max(self.queue_depth_samples, default=0),
+            mean_batch_size=(
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+            ),
+            shard_iops=tuple(
+                result.device_stats.observed_iops() for result in shard_results
+            ),
+            shard_io_counts=tuple(result.io_count for result in shard_results),
+        )
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """Immutable summary of one load-test run."""
+
+    completed: int
+    rejected: int
+    duration_ns: float
+    throughput_qps: float
+    mean_latency_ns: float
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+    max_latency_ns: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    mean_batch_size: float
+    #: Observed random-read IOPS per shard over its busy window.
+    shard_iops: tuple[float, ...]
+    #: I/O requests issued per shard.
+    shard_io_counts: tuple[int, ...]
+
+    @property
+    def offered(self) -> int:
+        """Queries that reached admission (completed + rejected)."""
+        return self.completed + self.rejected
+
+    @property
+    def mean_ios_per_query(self) -> float:
+        """Average I/Os a completed query cost across all shards."""
+        return sum(self.shard_io_counts) / self.completed if self.completed else 0.0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (CLI output)."""
+        lines = [
+            f"completed {self.completed} queries in {format_time(self.duration_ns)} "
+            f"({self.throughput_qps:,.0f} q/s), rejected {self.rejected}",
+            f"latency: p50 {format_time(self.p50_ns)}, p95 {format_time(self.p95_ns)}, "
+            f"p99 {format_time(self.p99_ns)}, max {format_time(self.max_latency_ns)}",
+            f"queues: mean depth {self.mean_queue_depth:.1f}, max {self.max_queue_depth}, "
+            f"mean batch {self.mean_batch_size:.1f}",
+            "shards: "
+            + ", ".join(
+                f"#{i} {format_iops(iops)} ({count} IOs)"
+                for i, (iops, count) in enumerate(zip(self.shard_iops, self.shard_io_counts))
+            ),
+        ]
+        return "\n".join(lines)

@@ -27,6 +27,7 @@ timing is served by the (possibly striped) device volume.
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Generator, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -37,7 +38,16 @@ from repro.storage.interface import StorageInterface
 from repro.storage.raid import StripedVolume
 from repro.utils.units import NS_PER_S
 
-__all__ = ["Read", "ReadBatch", "Compute", "EngineResult", "AsyncIOEngine", "Task"]
+__all__ = [
+    "Read",
+    "ReadBatch",
+    "Compute",
+    "Completion",
+    "EngineResult",
+    "EngineSession",
+    "AsyncIOEngine",
+    "Task",
+]
 
 #: A query task: a generator yielding actions and finally returning a result.
 Task = Generator["Read | ReadBatch | Compute", Any, Any]
@@ -109,12 +119,180 @@ class EngineResult:
         return self.device_stats.observed_iops()
 
 
+@dataclass(frozen=True)
+class Completion:
+    """One finished task, as reported by :meth:`EngineSession.step`."""
+
+    #: Submission index within the session.
+    index: int
+    #: Caller-supplied routing key (e.g. a query id for scatter-gather).
+    tag: Any
+    #: The task's return value.
+    result: Any
+    #: Simulated time the task finished.
+    finish_ns: float
+
+
 @dataclass
 class _TaskState:
     index: int
     generator: Task
     worker: int
+    tag: Any = None
     send_value: Any = None
+
+
+class EngineSession:
+    """Incremental task execution over one engine.
+
+    A session holds the ready queue, worker availability, and counters of
+    one engine run, but lets the caller *submit tasks while the run is in
+    progress*: a query service feeds arrivals into the engine at their
+    simulated arrival times instead of all at time zero, and steps the
+    simulation one task resumption at a time so completions can trigger
+    new arrivals (closed-loop load).  :meth:`AsyncIOEngine.run` is the
+    batch special case — submit everything at t=0, then :meth:`drain`.
+    """
+
+    def __init__(self, engine: "AsyncIOEngine", workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.engine = engine
+        self.workers = workers
+        engine.volume.reset()
+        self._ready: list[tuple[float, int, _TaskState]] = []
+        self._seq = 0
+        self._worker_free = [0.0] * workers
+        self._results: list[Any] = []
+        self._finish_times: list[float] = []
+        self.io_count = 0
+        self.compute_ns = 0.0
+        self.io_cpu_ns = 0.0
+        self.stall_ns = 0.0
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, task: Task, ready_ns: float = 0.0, tag: Any = None) -> int:
+        """Enqueue ``task`` to start no earlier than ``ready_ns``.
+
+        Returns the task's submission index (its slot in the session's
+        result order).  Workers are assigned round-robin by submission
+        index, matching the batch :meth:`AsyncIOEngine.run` semantics.
+        """
+        if ready_ns < 0:
+            raise ValueError(f"ready_ns must be non-negative, got {ready_ns}")
+        index = len(self._results)
+        state = _TaskState(index=index, generator=task, worker=index % self.workers, tag=tag)
+        self._results.append(None)
+        self._finish_times.append(0.0)
+        heapq.heappush(self._ready, (ready_ns, self._seq, state))
+        self._seq += 1
+        return index
+
+    # -- stepping -------------------------------------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        """True while any submitted task has not run to completion."""
+        return bool(self._ready)
+
+    @property
+    def next_ready_ns(self) -> float:
+        """Earliest time a queued task may resume (``inf`` when idle)."""
+        return self._ready[0][0] if self._ready else math.inf
+
+    def step(self) -> Completion | None:
+        """Resume the earliest-ready task until it blocks or finishes.
+
+        Returns a :class:`Completion` when the task ran to completion,
+        ``None`` when it parked on an asynchronous read.
+        """
+        if not self._ready:
+            return None
+        engine = self.engine
+        ready_ns, _, state = heapq.heappop(self._ready)
+        now = max(ready_ns, self._worker_free[state.worker])
+        while True:
+            try:
+                action = state.generator.send(state.send_value)
+            except StopIteration as stop:
+                self._results[state.index] = stop.value
+                self._finish_times[state.index] = now
+                self._worker_free[state.worker] = now
+                return Completion(
+                    index=state.index, tag=state.tag, result=stop.value, finish_ns=now
+                )
+            state.send_value = None
+
+            if isinstance(action, Compute):
+                self.compute_ns += action.duration_ns
+                now += action.duration_ns
+                continue
+
+            if isinstance(action, Read):
+                requests: tuple[tuple[int, int], ...] = ((action.address, action.length),)
+            elif isinstance(action, ReadBatch):
+                requests = action.requests
+                if not requests:
+                    state.send_value = []
+                    continue
+            else:
+                raise TypeError(f"task yielded unsupported action {action!r}")
+
+            # Issue each request: CPU overhead, then device booking.
+            completions = []
+            for address, length in requests:
+                now += engine.interface.cpu_overhead_ns
+                self.io_cpu_ns += engine.interface.cpu_overhead_ns
+                completions.append(engine.volume.submit(now, address, length))
+                self.io_count += 1
+            data = [engine.store.read(address, length) for address, length in requests]
+            payload: Any = data[0] if isinstance(action, Read) else data
+            done_ns = max(completions)
+
+            if engine.interface.synchronous:
+                # Figure 1(A): the CPU blocks until the data arrives.
+                self.stall_ns += max(0.0, done_ns - now)
+                now = max(now, done_ns)
+                state.send_value = payload
+                continue
+
+            # Figure 1(B): park this task, free the worker for others.
+            self._worker_free[state.worker] = now
+            state.send_value = payload
+            heapq.heappush(self._ready, (done_ns, self._seq, state))
+            self._seq += 1
+            return None
+
+    def run_until(self, until_ns: float) -> list[Completion]:
+        """Step every task that may resume at or before ``until_ns``."""
+        done: list[Completion] = []
+        while self._ready and self._ready[0][0] <= until_ns:
+            completion = self.step()
+            if completion is not None:
+                done.append(completion)
+        return done
+
+    def drain(self) -> list[Completion]:
+        """Run every remaining task to completion."""
+        return self.run_until(math.inf)
+
+    # -- results --------------------------------------------------------------
+
+    def result(self) -> EngineResult:
+        """Aggregate statistics over everything the session has run."""
+        makespan = max(self._finish_times) if self._finish_times else 0.0
+        return EngineResult(
+            makespan_ns=makespan,
+            results=list(self._results),
+            finish_times_ns=list(self._finish_times),
+            io_count=self.io_count,
+            compute_ns=self.compute_ns,
+            io_cpu_ns=self.io_cpu_ns,
+            stall_ns=self.stall_ns,
+            device_stats=self.engine.volume.combined_stats(),
+            workers=self.workers,
+        )
 
 
 class AsyncIOEngine:
@@ -130,6 +308,10 @@ class AsyncIOEngine:
         self.interface = interface
         self.store = store
 
+    def session(self, workers: int = 1) -> EngineSession:
+        """Open an incremental execution session (resets the volume)."""
+        return EngineSession(self, workers=workers)
+
     def run(self, tasks: Sequence[Task], workers: int = 1) -> EngineResult:
         """Execute ``tasks`` to completion and return aggregate statistics.
 
@@ -138,95 +320,8 @@ class AsyncIOEngine:
         Sec. 6.5 / Figure 16).  Device bookings are shared across
         workers, so storage saturation limits all of them collectively.
         """
-        if workers < 1:
-            raise ValueError(f"workers must be >= 1, got {workers}")
-        self.volume.reset()
-
-        states = [
-            _TaskState(index=i, generator=task, worker=i % workers)
-            for i, task in enumerate(tasks)
-        ]
-        results: list[Any] = [None] * len(states)
-        finish_times: list[float] = [0.0] * len(states)
-        worker_free = [0.0] * workers
-        io_count = 0
-        compute_ns = 0.0
-        io_cpu_ns = 0.0
-        stall_ns = 0.0
-
-        # Ready queue ordered by the time a task may resume; the sequence
-        # number breaks ties deterministically (FCFS).
-        ready: list[tuple[float, int, _TaskState]] = []
-        seq = 0
-        for state in states:
-            heapq.heappush(ready, (0.0, seq, state))
-            seq += 1
-
-        while ready:
-            ready_ns, _, state = heapq.heappop(ready)
-            now = max(ready_ns, worker_free[state.worker])
-            blocked = False
-            while not blocked:
-                try:
-                    action = state.generator.send(state.send_value)
-                except StopIteration as stop:
-                    results[state.index] = stop.value
-                    finish_times[state.index] = now
-                    break
-                state.send_value = None
-
-                if isinstance(action, Compute):
-                    compute_ns += action.duration_ns
-                    now += action.duration_ns
-                    continue
-
-                if isinstance(action, Read):
-                    requests: tuple[tuple[int, int], ...] = ((action.address, action.length),)
-                elif isinstance(action, ReadBatch):
-                    requests = action.requests
-                    if not requests:
-                        state.send_value = []
-                        continue
-                else:
-                    raise TypeError(f"task yielded unsupported action {action!r}")
-
-                # Issue each request: CPU overhead, then device booking.
-                completions = []
-                for address, length in requests:
-                    now += self.interface.cpu_overhead_ns
-                    io_cpu_ns += self.interface.cpu_overhead_ns
-                    completions.append(self.volume.submit(now, address, length))
-                    io_count += 1
-                data = [self.store.read(address, length) for address, length in requests]
-                payload: Any = data[0] if isinstance(action, Read) else data
-                done_ns = max(completions)
-
-                if self.interface.synchronous:
-                    # Figure 1(A): the CPU blocks until the data arrives.
-                    stall_ns += max(0.0, done_ns - now)
-                    now = max(now, done_ns)
-                    state.send_value = payload
-                    continue
-
-                # Figure 1(B): park this task, free the worker for others.
-                worker_free[state.worker] = now
-                state.send_value = payload
-                heapq.heappush(ready, (done_ns, seq, state))
-                seq += 1
-                blocked = True
-
-            if not blocked:
-                worker_free[state.worker] = now
-
-        makespan = max(finish_times) if finish_times else 0.0
-        return EngineResult(
-            makespan_ns=makespan,
-            results=results,
-            finish_times_ns=finish_times,
-            io_count=io_count,
-            compute_ns=compute_ns,
-            io_cpu_ns=io_cpu_ns,
-            stall_ns=stall_ns,
-            device_stats=self.volume.combined_stats(),
-            workers=workers,
-        )
+        session = self.session(workers=workers)
+        for task in tasks:
+            session.submit(task)
+        session.drain()
+        return session.result()

@@ -8,6 +8,7 @@ from repro.analysis.requirements import (
     INMEMORY_COMPUTE_FRACTION,
     average_n_io,
     inmemory_cpu_requirement_scale,
+    plan_capacity,
     requirement_curve,
 )
 from repro.stats import QueryStats
@@ -73,3 +74,67 @@ def test_requirement_curve_validates_lengths():
 def test_eq16_scale_is_ten():
     assert inmemory_cpu_requirement_scale() == pytest.approx(10.0)
     assert INMEMORY_COMPUTE_FRACTION == pytest.approx(0.9)
+
+
+# -- plan_capacity -----------------------------------------------------------
+
+
+def test_plan_capacity_iops_balance():
+    # 10k q/s x 30 IO/query = 300 kIOPS; 273k-IOPS devices at 70% give
+    # 191.1k per shard -> 2 shards.
+    plan = plan_capacity(
+        n_io_per_query=30.0,
+        target_qps=10_000.0,
+        target_p99_ns=2e6,
+        device_max_iops=273_000.0,
+    )
+    assert plan.required_fleet_iops == pytest.approx(300_000.0)
+    assert plan.required_shards == 2
+    assert plan.total_devices == 2
+    assert plan.expected_utilization == pytest.approx(300_000 / (2 * 273_000))
+    assert plan.feasible
+
+
+def test_plan_capacity_scales_with_devices_per_shard():
+    single = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0, devices_per_shard=1)
+    quad = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0, devices_per_shard=4)
+    assert quad.required_shards == math.ceil(single.required_shards / 4)
+    assert single.required_shards == math.ceil(
+        50 * 50_000 / (273_000 * 0.7)
+    )
+
+
+def test_plan_capacity_never_below_one_shard():
+    plan = plan_capacity(1.0, 10.0, 1e6, 1e9)
+    assert plan.required_shards == 1
+
+
+def test_plan_capacity_latency_floor_infeasible():
+    plan = plan_capacity(
+        10.0, 1_000.0, target_p99_ns=1e5, device_max_iops=1e6, latency_floor_ns=5e5
+    )
+    assert not plan.feasible
+    assert "INFEASIBLE" in plan.describe()
+
+
+def test_plan_capacity_describe_mentions_shards():
+    text = plan_capacity(30.0, 10_000.0, 2e6, 273_000.0).describe()
+    assert "shard" in text
+    assert "utilization" in text
+
+
+def test_plan_capacity_validation():
+    with pytest.raises(ValueError):
+        plan_capacity(-1.0, 10.0, 1e6, 1e5)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 0.0, 1e6, 1e5)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 0.0, 1e5)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 0.0)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 1e5, devices_per_shard=0)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 1e5, utilization_cap=1.5)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 1e5, latency_floor_ns=-1.0)

@@ -60,6 +60,33 @@ def test_analyze_reports_requirements():
     assert "qualifying devices" in text
 
 
+def test_loadtest_open_loop_reports_slo_figures():
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--qps", "2000", "--arrivals", "poisson",
+        "--requests", "24",
+    )
+    assert code == 0
+    for token in ("p50", "p95", "p99", "q/s", "capacity plan", "shard"):
+        assert token in text
+
+
+def test_loadtest_closed_loop_table_scheme():
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--scheme", "table", "--mode", "closed",
+        "--concurrency", "4", "--requests", "16",
+    )
+    assert code == 0
+    assert "closed loop" in text
+    assert "rejected 0" in text
+
+
+def test_loadtest_rejects_unknown_scheme():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["loadtest", "--scheme", "bogus"])
+
+
 def test_parser_rejects_unknown_dataset():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["build", "--dataset", "imaginary", "--out", "x"])

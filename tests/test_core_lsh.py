@@ -114,3 +114,23 @@ def test_create_validation():
         CompoundHashBank.create(d=0, m=1, L=1, w=1.0, seed=0)
     with pytest.raises(ValueError):
         CompoundHashBank.create(d=4, m=1, L=1, w=0.0, seed=0)
+
+
+def test_select_tables_hashes_like_parent(bank):
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(20, 16)).astype(np.float32)
+    full = bank.hash_values(points, radius=1.0)
+    sliced = bank.select_tables([1, 3])
+    assert sliced.L == 2 and sliced.m == bank.m
+    np.testing.assert_array_equal(sliced.hash_values(points, radius=1.0), full[:, [1, 3]])
+
+
+def test_select_tables_validation(bank):
+    with pytest.raises(ValueError):
+        bank.select_tables([])
+    with pytest.raises(ValueError):
+        bank.select_tables([0, 0])
+    with pytest.raises(ValueError):
+        bank.select_tables([bank.L])
+    with pytest.raises(ValueError):
+        bank.select_tables([-1])

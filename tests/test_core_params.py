@@ -61,3 +61,24 @@ def test_describe_mentions_core_values():
 def test_validation(kwargs):
     with pytest.raises(ValueError):
         E2LSHParams(**kwargs)
+
+
+def test_explicit_overrides_replace_derived_values():
+    base = E2LSHParams(n=4000, rho=0.32)
+    overridden = E2LSHParams(
+        n=1000, rho=0.32, m_explicit=base.m, L_explicit=base.L, S_explicit=7
+    )
+    assert overridden.m == base.m
+    assert overridden.L == base.L
+    assert overridden.S == 7
+    # Without overrides a smaller n derives a smaller index.
+    assert E2LSHParams(n=1000, rho=0.32).L < base.L
+
+
+def test_explicit_overrides_validated():
+    with pytest.raises(ValueError):
+        E2LSHParams(n=10, m_explicit=0)
+    with pytest.raises(ValueError):
+        E2LSHParams(n=10, L_explicit=0)
+    with pytest.raises(ValueError):
+        E2LSHParams(n=10, S_explicit=0)

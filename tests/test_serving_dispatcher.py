@@ -1,0 +1,116 @@
+"""Tests for repro.serving.dispatcher."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import E2LSHParams
+from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.sharding import ShardedIndex
+from repro.serving.stats import ServiceStats
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((240, 12)).astype(np.float32)
+    return ShardedIndex.build(data, E2LSHParams(n=240), n_shards=2, scheme="hash", seed=5)
+
+
+@pytest.fixture()
+def query():
+    return np.zeros(12, dtype=np.float32)
+
+
+def make_dispatcher(sharded, **kwargs):
+    stats = ServiceStats()
+    sessions = [shard.engine.session() for shard in sharded.shards]
+    dispatcher = Dispatcher(sharded, sessions, DispatchConfig(**kwargs), stats)
+    return dispatcher, sessions, stats
+
+
+def test_size_trigger_flushes_full_batch(sharded, query):
+    dispatcher, sessions, stats = make_dispatcher(sharded, max_batch=3)
+    for i in range(3):
+        assert dispatcher.admit(100.0, i, query, k=2)
+    assert not dispatcher.has_pending  # batch released on the 3rd admit
+    assert all(s.has_work for s in sessions)
+    assert stats.batch_sizes == [3, 3]  # one flush per shard lane
+
+
+def test_time_trigger_deadline(sharded, query):
+    dispatcher, sessions, stats = make_dispatcher(sharded, max_batch=100, max_delay_ns=500.0)
+    dispatcher.admit(1000.0, 0, query, k=2)
+    assert dispatcher.has_pending
+    assert dispatcher.next_flush_ns == pytest.approx(1500.0)
+    dispatcher.flush_due(1400.0)  # before the deadline: nothing happens
+    assert dispatcher.has_pending
+    dispatcher.flush_due(1500.0)
+    assert not dispatcher.has_pending
+    assert all(s.has_work for s in sessions)
+
+
+def test_deadline_set_by_oldest_entry(sharded, query):
+    dispatcher, _, _ = make_dispatcher(sharded, max_batch=100, max_delay_ns=500.0)
+    dispatcher.admit(1000.0, 0, query, k=2)
+    dispatcher.admit(1300.0, 1, query, k=2)
+    assert dispatcher.next_flush_ns == pytest.approx(1500.0)
+
+
+def test_no_pending_means_no_deadline(sharded):
+    dispatcher, _, _ = make_dispatcher(sharded)
+    assert math.isinf(dispatcher.next_flush_ns)
+
+
+def test_bounded_admission_rejects_and_recovers(sharded, query):
+    dispatcher, _, stats = make_dispatcher(sharded, max_batch=100, queue_capacity=2)
+    assert dispatcher.admit(0.0, 0, query, k=2)
+    assert dispatcher.admit(0.0, 1, query, k=2)
+    assert not dispatcher.admit(0.0, 2, query, k=2)  # both lanes full
+    assert stats.rejected == 1
+    dispatcher.subquery_done(0)
+    dispatcher.subquery_done(1)
+    assert dispatcher.admit(0.0, 3, query, k=2)
+
+
+def test_outstanding_counts_in_flight_not_just_queued(sharded, query):
+    dispatcher, _, _ = make_dispatcher(sharded, max_batch=2, queue_capacity=3)
+    # Two admits flush immediately (max_batch=2), but stay outstanding.
+    dispatcher.admit(0.0, 0, query, k=2)
+    dispatcher.admit(0.0, 1, query, k=2)
+    assert not dispatcher.has_pending
+    assert dispatcher.admit(0.0, 2, query, k=2)  # 3rd slot
+    assert not dispatcher.admit(0.0, 3, query, k=2)  # capacity 3 reached
+
+
+def test_queue_depth_sampled_per_admit(sharded, query):
+    dispatcher, _, stats = make_dispatcher(sharded, max_batch=100)
+    dispatcher.admit(0.0, 0, query, k=2)
+    dispatcher.admit(0.0, 1, query, k=2)
+    assert stats.queue_depth_samples == [1, 1, 2, 2]  # two lanes, two admits
+
+
+def test_subquery_done_underflow_raises(sharded):
+    dispatcher, _, _ = make_dispatcher(sharded)
+    with pytest.raises(RuntimeError):
+        dispatcher.subquery_done(0)
+
+
+def test_session_count_must_match_shards(sharded):
+    with pytest.raises(ValueError):
+        Dispatcher(
+            sharded,
+            [sharded.shards[0].engine.session()],
+            DispatchConfig(),
+            ServiceStats(),
+        )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DispatchConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        DispatchConfig(max_delay_ns=-1.0)
+    with pytest.raises(ValueError):
+        DispatchConfig(queue_capacity=0)

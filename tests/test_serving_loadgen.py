@@ -1,0 +1,80 @@
+"""Tests for repro.serving.loadgen."""
+
+import numpy as np
+import pytest
+
+from repro.serving.loadgen import (
+    ClosedLoopWorkload,
+    OpenLoopWorkload,
+    QuerySelector,
+    open_loop_arrivals,
+)
+from repro.utils.units import NS_PER_S
+
+
+def test_poisson_arrivals_deterministic_and_sorted():
+    workload = OpenLoopWorkload(qps=1000, n_queries=200, arrivals="poisson", seed=4)
+    a = open_loop_arrivals(workload, pool_size=16)
+    b = open_loop_arrivals(workload, pool_size=16)
+    assert [x.time_ns for x in a] == [x.time_ns for x in b]
+    assert [x.pool_index for x in a] == [x.pool_index for x in b]
+    times = [x.time_ns for x in a]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_poisson_mean_rate_matches_qps():
+    workload = OpenLoopWorkload(qps=5000, n_queries=4000, arrivals="poisson", seed=1)
+    arrivals = open_loop_arrivals(workload, pool_size=8)
+    measured = len(arrivals) * NS_PER_S / arrivals[-1].time_ns
+    assert measured == pytest.approx(5000, rel=0.1)
+
+
+def test_uniform_arrivals_equally_spaced():
+    workload = OpenLoopWorkload(qps=1000, n_queries=10, arrivals="uniform", seed=1)
+    times = [a.time_ns for a in open_loop_arrivals(workload, pool_size=4)]
+    gaps = np.diff(times)
+    assert np.allclose(gaps, NS_PER_S / 1000)
+
+
+def test_query_ids_are_sequential():
+    workload = OpenLoopWorkload(qps=100, n_queries=5, seed=0)
+    assert [a.query_id for a in open_loop_arrivals(workload, 3)] == [0, 1, 2, 3, 4]
+
+
+def test_selector_round_robin_without_skew():
+    selector = QuerySelector(pool_size=4)
+    assert [selector.select(i) for i in range(6)] == [0, 1, 2, 3, 0, 1]
+
+
+def test_selector_zipf_skews_toward_head():
+    selector = QuerySelector(pool_size=50, zipf_s=1.2, seed=7)
+    picks = np.array([selector.select(i) for i in range(2000)])
+    head = (picks < 5).mean()
+    tail = (picks >= 45).mean()
+    assert head > 0.4
+    assert head > 5 * tail
+    assert picks.min() >= 0 and picks.max() < 50
+
+
+def test_selector_zipf_deterministic():
+    a = QuerySelector(8, zipf_s=1.0, seed=3)
+    b = QuerySelector(8, zipf_s=1.0, seed=3)
+    assert [a.select(i) for i in range(50)] == [b.select(i) for i in range(50)]
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(qps=0, n_queries=1)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(qps=10, n_queries=0)
+    with pytest.raises(ValueError):
+        OpenLoopWorkload(qps=10, n_queries=1, arrivals="burst")
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(concurrency=0, n_queries=1)
+    with pytest.raises(ValueError):
+        ClosedLoopWorkload(concurrency=1, n_queries=1, think_time_ns=-1.0)
+    with pytest.raises(ValueError):
+        QuerySelector(pool_size=0)
+    with pytest.raises(ValueError):
+        QuerySelector(pool_size=4, zipf_s=-0.1)

@@ -1,0 +1,118 @@
+"""Tests for repro.serving.stats."""
+
+import numpy as np
+import pytest
+
+from repro.serving.stats import ServiceStats, percentile
+from repro.storage.engine import EngineResult
+from repro.utils.units import NS_PER_S
+
+
+def engine_result(io_count=0):
+    return EngineResult(
+        makespan_ns=0.0,
+        results=[],
+        finish_times_ns=[],
+        io_count=io_count,
+        compute_ns=0.0,
+        io_cpu_ns=0.0,
+        stall_ns=0.0,
+    )
+
+
+def filled_stats(latencies_ms):
+    stats = ServiceStats()
+    for i, latency in enumerate(latencies_ms):
+        stats.record_completion(i, i, arrival_ns=0.0, finish_ns=latency * 1e6)
+    return stats
+
+
+# -- percentile --------------------------------------------------------------
+
+
+def test_percentile_nearest_rank_definition():
+    values = [10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]
+    assert percentile(values, 50) == 50.0
+    assert percentile(values, 95) == 100.0
+    assert percentile(values, 99) == 100.0
+    assert percentile(values, 10) == 10.0
+    assert percentile(values, 100) == 100.0
+
+
+def test_percentile_single_value():
+    assert percentile([42.0], 50) == 42.0
+    assert percentile([42.0], 99) == 42.0
+
+
+def test_percentile_is_order_insensitive():
+    rng = np.random.default_rng(11)
+    values = list(rng.exponential(1.0, size=101))
+    shuffled = list(rng.permutation(values))
+    assert percentile(values, 99) == percentile(shuffled, 99)
+
+
+def test_percentile_deterministic_with_seeded_values():
+    values = list(np.random.default_rng(21).exponential(2.0, size=1000))
+    assert percentile(values, 99) == pytest.approx(percentile(values, 99))
+    assert percentile(values, 50) <= percentile(values, 95) <= percentile(values, 99)
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([1.0], 0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+# -- ServiceStats / ServiceReport -------------------------------------------
+
+
+def test_report_percentiles_and_throughput():
+    stats = filled_stats([1.0] * 98 + [5.0, 9.0])
+    report = stats.report([engine_result(io_count=300)])
+    assert report.completed == 100
+    assert report.p50_ns == pytest.approx(1e6)
+    assert report.p99_ns == pytest.approx(5e6)
+    assert report.max_latency_ns == pytest.approx(9e6)
+    # 100 completions over the 9 ms span between first arrival and last finish.
+    assert report.throughput_qps == pytest.approx(100 * NS_PER_S / 9e6)
+    assert report.mean_ios_per_query == pytest.approx(3.0)
+    assert report.offered == 100
+
+
+def test_report_counts_rejections():
+    stats = filled_stats([1.0, 2.0])
+    stats.record_rejection()
+    stats.record_rejection()
+    report = stats.report([engine_result()])
+    assert report.rejected == 2
+    assert report.offered == 4
+
+
+def test_report_queue_and_batch_tracking():
+    stats = filled_stats([1.0])
+    stats.queue_depth_samples.extend([1, 3, 2])
+    stats.batch_sizes.extend([4, 8])
+    report = stats.report([engine_result()])
+    assert report.max_queue_depth == 3
+    assert report.mean_queue_depth == pytest.approx(2.0)
+    assert report.mean_batch_size == pytest.approx(6.0)
+
+
+def test_report_requires_completions():
+    with pytest.raises(ValueError):
+        ServiceStats().report([engine_result()])
+
+
+def test_describe_mentions_key_figures():
+    text = filled_stats([1.0, 2.0]).report([engine_result(io_count=10)]).describe()
+    for token in ("p50", "p99", "rejected", "shards"):
+        assert token in text
+
+
+def test_latency_is_finish_minus_arrival():
+    stats = ServiceStats()
+    stats.record_completion(0, 0, arrival_ns=5e6, finish_ns=7e6)
+    assert stats.records[0].latency_ns == pytest.approx(2e6)

@@ -1,9 +1,11 @@
 """Tests for repro.storage.engine — the async I/O engine semantics."""
 
+import math
+
 import pytest
 
 from repro.storage.blockstore import MemoryBlockStore
-from repro.storage.engine import AsyncIOEngine, Compute, Read, ReadBatch
+from repro.storage.engine import AsyncIOEngine, Compute, EngineSession, Read, ReadBatch
 from repro.storage.interface import StorageInterface
 from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
 from repro.storage.raid import StripedVolume
@@ -170,3 +172,110 @@ def test_tasks_per_second_and_mean_time():
     result = engine.run([compute_task(1e6), compute_task(1e6)])
     assert result.mean_task_time_ns == pytest.approx(1e6)
     assert result.tasks_per_second == pytest.approx(1000.0)
+
+
+# -- EngineSession: incremental submission (the serving path) ---------------
+
+
+def test_session_batch_equivalence_with_run():
+    """run() is the submit-everything-at-zero special case of a session."""
+    engine, _ = make_engine()
+    batch = engine.run([reader_task([i * 512 for i in range(6)]) for _ in range(4)])
+    engine2, _ = make_engine()
+    session = engine2.session()
+    for _ in range(4):
+        session.submit(reader_task([i * 512 for i in range(6)]))
+    session.drain()
+    incremental = session.result()
+    assert incremental.makespan_ns == pytest.approx(batch.makespan_ns)
+    assert incremental.io_count == batch.io_count
+    assert incremental.finish_times_ns == pytest.approx(batch.finish_times_ns)
+
+
+def test_session_respects_ready_time():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(1_000.0), ready_ns=5_000.0)
+    completions = session.drain()
+    assert len(completions) == 1
+    assert completions[0].finish_ns == pytest.approx(6_000.0)
+
+
+def test_session_tags_completions():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(10.0), tag="alpha")
+    session.submit(compute_task(10.0), tag="beta")
+    tags = {c.tag for c in session.drain()}
+    assert tags == {"alpha", "beta"}
+
+
+def test_session_late_submission_after_stepping():
+    """Tasks may be submitted while earlier ones are mid-flight."""
+    engine, store = make_engine()
+    session = engine.session()
+    session.submit(reader_task([0, 512]), tag="early")
+    assert session.step() is None  # early parks on its first read
+    session.submit(compute_task(5.0), ready_ns=1e9, tag="late")
+    completions = session.drain()
+    assert [c.tag for c in sorted(completions, key=lambda c: c.finish_ns)] == [
+        "early",
+        "late",
+    ]
+    assert completions[0].result == store.read(0, 512) + store.read(512, 512)
+
+
+def test_session_next_ready_and_has_work():
+    engine, _ = make_engine()
+    session = engine.session()
+    assert not session.has_work
+    assert math.isinf(session.next_ready_ns)
+    session.submit(compute_task(1.0), ready_ns=42.0)
+    assert session.has_work
+    assert session.next_ready_ns == pytest.approx(42.0)
+    session.drain()
+    assert not session.has_work
+
+
+def test_session_run_until_stops_at_horizon():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(1.0), ready_ns=100.0)
+    session.submit(compute_task(1.0), ready_ns=10_000.0)
+    done = session.run_until(5_000.0)
+    assert len(done) == 1
+    assert session.has_work
+    assert len(session.drain()) == 1
+
+
+def test_session_validation():
+    engine, _ = make_engine()
+    with pytest.raises(ValueError):
+        engine.session(workers=0)
+    session = engine.session()
+    with pytest.raises(ValueError):
+        session.submit(compute_task(1.0), ready_ns=-1.0)
+    assert session.step() is None  # stepping an idle session is a no-op
+
+
+def test_session_result_partial_then_final():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(7.0))
+    session.drain()
+    first = session.result()
+    assert first.results == ["done"]
+    session.submit(compute_task(7.0), ready_ns=100.0)
+    session.drain()
+    second = session.result()
+    assert second.results == ["done", "done"]
+    assert second.makespan_ns == pytest.approx(107.0)
+
+
+def test_session_sync_interface_blocks_inline():
+    engine, _ = make_engine(interface=INTERFACE_PROFILES["mmap_sync"])
+    session = EngineSession(engine)
+    session.submit(reader_task([0]))
+    completions = session.drain()
+    assert completions[0].finish_ns >= DEVICE_PROFILES["cssd"].latency_ns
+    assert session.stall_ns > 0

@@ -51,6 +51,46 @@ def test_lru_eviction():
     assert cache.stats.misses == 4
 
 
+def test_lru_eviction_order_follows_recency_not_admission():
+    """A hit refreshes recency: eviction removes the least recently
+    *used* page, not the least recently admitted one."""
+    cache, _ = make_cache(capacity_pages=3)
+    clock = 0.0
+    for page in (0, 1, 2):
+        _, clock = cache.read(clock, page * PAGE_SIZE, 8)
+    _, clock = cache.read(clock, 0 * PAGE_SIZE, 8)  # refresh 0: order 1, 2, 0
+    assert cache.stats.hits == 1
+    _, clock = cache.read(clock, 3 * PAGE_SIZE, 8)  # evicts 1 (LRU), not 0
+    _, clock = cache.read(clock, 0 * PAGE_SIZE, 8)
+    assert cache.stats.hits == 2  # 0 survived
+    _, clock = cache.read(clock, 1 * PAGE_SIZE, 8)
+    assert cache.stats.misses == 5  # 1 was the eviction victim
+
+
+def test_lru_eviction_sequence_is_fifo_among_untouched_pages():
+    cache, _ = make_cache(capacity_pages=2)
+    clock = 0.0
+    for page in (0, 1, 2, 3):  # 2 evicts 0, 3 evicts 1
+        _, clock = cache.read(clock, page * PAGE_SIZE, 8)
+    _, clock = cache.read(clock, 2 * PAGE_SIZE, 8)
+    _, clock = cache.read(clock, 3 * PAGE_SIZE, 8)
+    assert cache.stats.hits == 2
+    _, clock = cache.read(clock, 0 * PAGE_SIZE, 8)
+    _, clock = cache.read(clock, 1 * PAGE_SIZE, 8)
+    assert cache.stats.misses == 6
+
+
+def test_capacity_of_one_page_keeps_only_latest():
+    cache, _ = make_cache(capacity_pages=1)
+    clock = 0.0
+    _, clock = cache.read(clock, 0, 8)
+    _, clock = cache.read(clock, 0, 8)
+    assert cache.stats.hits == 1
+    _, clock = cache.read(clock, PAGE_SIZE, 8)
+    _, clock = cache.read(clock, 0, 8)
+    assert cache.stats.misses == 3
+
+
 def test_read_spanning_pages_touches_each():
     cache, store = make_cache()
     data, _ = cache.read(0.0, PAGE_SIZE - 8, 16)

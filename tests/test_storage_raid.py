@@ -30,6 +30,47 @@ def test_striping_multiplies_throughput():
     assert t_quad < t_single
 
 
+def test_striping_math_exact_device_index():
+    """``device = (address // stripe_unit) mod count`` for any unit."""
+    volume = StripedVolume.of(DEVICE_PROFILES["cssd"], 3, stripe_unit=4096)
+    for address, expected in (
+        (0, 0),
+        (4095, 0),
+        (4096, 1),
+        (8191, 1),
+        (8192, 2),
+        (12288, 0),  # wraps around after count * stripe_unit bytes
+        (3 * 4096 * 1000 + 2 * 4096, 2),
+    ):
+        assert volume.device_for(address) is volume.devices[expected]
+
+
+def test_striping_cycle_length_is_count_times_unit():
+    count, stripe = 4, 512
+    volume = make_volume(count=count, stripe=stripe)
+    for block in range(3 * count):
+        assert (
+            volume.device_for(block * stripe)
+            is volume.devices[block % count]
+        )
+
+
+def test_long_read_charged_to_first_stripe_owner():
+    volume = make_volume(count=4, stripe=512)
+    volume.submit(0.0, 512, 4096)  # spans stripes 1..8, owner is device 1
+    assert volume.devices[1].stats.completed == 1
+    assert all(
+        volume.devices[i].stats.completed == 0 for i in (0, 2, 3)
+    )
+
+
+def test_spread_addresses_land_on_all_devices():
+    volume = make_volume(count=4, stripe=512)
+    for block in range(8):
+        volume.submit(0.0, block * 512, 512)
+    assert [device.stats.completed for device in volume.devices] == [2, 2, 2, 2]
+
+
 def test_combined_stats_merges_devices():
     volume = make_volume(count=2)
     for i in range(10):
