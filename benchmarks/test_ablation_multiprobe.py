@@ -12,7 +12,6 @@ hypothesizes).
 
 import numpy as np
 
-from repro.baselines.linear_scan import LinearScanIndex
 from repro.core.e2lsh import E2LSHIndex
 from repro.core.multiprobe import MultiProbeE2LSH
 from repro.core.params import E2LSHParams

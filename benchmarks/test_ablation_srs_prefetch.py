@@ -7,7 +7,6 @@ puts the SRS R-tree on the simulated cSSD and compares one-node-at-a-
 time reads against prefetching batches of frontier nodes.
 """
 
-import numpy as np
 
 from repro.baselines.srs_storage import build_storage_srs
 from repro.datasets.registry import load_dataset

@@ -8,10 +8,12 @@ measured; its ``min(bucket_size, N)`` I/O inflation is asserted as the
 structural finding it is.
 """
 
+from dataclasses import asdict
+
 from repro.experiments import serving_shards
 
 
-def test_serving_shards(scale, bench_dataset, benchmark):
+def test_serving_shards(scale, bench_dataset, benchmark, bench_artifact):
     rows = benchmark.pedantic(
         serving_shards.run,
         args=(scale, bench_dataset),
@@ -19,6 +21,7 @@ def test_serving_shards(scale, bench_dataset, benchmark):
         iterations=1,
     )
     print("\n" + serving_shards.format_table(rows))
+    bench_artifact["serving_shards"] = [asdict(row) for row in rows]
 
     by_config = {(row.n_shards, row.scheme): row for row in rows}
     single = by_config[(1, "hash")]

@@ -11,7 +11,9 @@ answers the operational questions that follow:
 2. How much saturation headroom do 4 shards buy under the two
    partitioning families (object-partitioned ``hash`` vs
    table-partitioned ``table``)?
-3. What does the capacity planner prescribe for a target QPS and p99?
+3. When one of 2 replicas per shard degrades 5x, how do the routing
+   policies (round-robin, least-outstanding, hedged requests) cope?
+4. What does the capacity planner prescribe for a target QPS and p99?
 
 Run:  python examples/serving_loadtest.py
 """
@@ -26,8 +28,10 @@ from repro.eval.ratio import overall_ratio
 from repro.serving import (
     ClosedLoopWorkload,
     DispatchConfig,
+    FaultSpec,
     OpenLoopWorkload,
     QueryService,
+    RoutingConfig,
     ShardedIndex,
 )
 from repro.storage.profiles import DEVICE_PROFILES
@@ -38,12 +42,30 @@ K = 10
 DEVICE = "cssd"
 
 
-def build_service(data: np.ndarray, n_shards: int, scheme: str) -> QueryService:
+def build_service(
+    data: np.ndarray,
+    n_shards: int,
+    scheme: str,
+    replicas: int = 1,
+    faults: tuple[FaultSpec, ...] = (),
+    routing: str = "round_robin",
+) -> QueryService:
     params = E2LSHParams(n=data.shape[0], rho=0.32, gamma=0.5, s_factor=32.0)
     sharded = ShardedIndex.build(
-        data, params, n_shards=n_shards, scheme=scheme, device=DEVICE, seed=1
+        data,
+        params,
+        n_shards=n_shards,
+        scheme=scheme,
+        device=DEVICE,
+        seed=1,
+        replicas=replicas,
+        faults=faults,
     )
-    return QueryService(sharded, dispatch=DispatchConfig(max_batch=8, max_delay_ns=50_000))
+    return QueryService(
+        sharded,
+        dispatch=DispatchConfig(max_batch=8, max_delay_ns=50_000),
+        routing=RoutingConfig(policy=routing),
+    )
 
 
 def main() -> None:
@@ -83,7 +105,28 @@ def main() -> None:
             f"{report.mean_ios_per_query:.1f} IO/query, ratio {ratio:.4f}"
         )
 
-    # 3. Capacity plan: 50k q/s at 2 ms p99 on this workload.
+    # 3. One slow replica: routing policy decides how bad the tail gets.
+    #    4 shards x 2 replicas, replica 1 of shard 0 degraded 5x, same
+    #    open-loop load under every policy.
+    print("\n4 shards x 2 replicas, one replica 5x slow, 4,000 q/s offered:")
+    fault = FaultSpec(shard=0, replica=1, latency_multiplier=5.0)
+    open_wl = OpenLoopWorkload(qps=4_000, n_queries=256, arrivals="poisson", seed=1)
+    for routing in ("round_robin", "least_outstanding", "hedged"):
+        service = build_service(
+            dataset.data, 4, "table", replicas=2, faults=(fault,), routing=routing
+        )
+        report = service.run_open_loop(dataset.queries, open_wl, k=K)
+        hedges = (
+            f", hedges {report.hedges_issued} ({report.hedge_wins} wins)"
+            if report.hedges_armed
+            else ""
+        )
+        print(
+            f"  {routing:17s}: p50 {format_time(report.p50_ns)}, "
+            f"p99 {format_time(report.p99_ns)}{hedges}"
+        )
+
+    # 4. Capacity plan: 50k q/s at 2 ms p99 on this workload, replicated.
     report = build_service(dataset.data, 4, "table").run_closed_loop(
         dataset.queries, workload, k=K
     )
@@ -93,8 +136,10 @@ def main() -> None:
         target_p99_ns=2.0 * NS_PER_MS,
         device_max_iops=DEVICE_PROFILES[DEVICE].max_iops,
         latency_floor_ns=report.p50_ns,
+        replicas=2,
+        hedge_fraction=0.05,
     )
-    print(f"\ncapacity plan for 50k q/s @ 2 ms p99:\n  {plan.describe()}")
+    print(f"\ncapacity plan for 50k q/s @ 2 ms p99 with 2 replicas:\n  {plan.describe()}")
 
 
 if __name__ == "__main__":

@@ -157,16 +157,27 @@ class CapacityPlan:
     devices_per_shard: int
     utilization_cap: float
     latency_floor_ns: float
+    #: Replication factor R: copies of each shard on independent devices.
+    replicas: int = 1
+    #: Fraction of sub-queries re-issued by hedged routing (duplicate
+    #: reads inflate the demand side of the IOPS balance).
+    hedge_fraction: float = 0.0
 
     @property
     def required_fleet_iops(self) -> float:
         """Random-read IOPS the whole fleet must absorb."""
-        return self.target_qps * self.n_io_per_query
+        return self.target_qps * self.n_io_per_query * (1.0 + self.hedge_fraction)
 
     @property
     def per_shard_planned_iops(self) -> float:
-        """IOPS one shard contributes at the planned utilization."""
-        return self.device_max_iops * self.devices_per_shard * self.utilization_cap
+        """IOPS one shard's replica group contributes at the planned
+        utilization (replicas hold copies, so their IOPS add)."""
+        return (
+            self.device_max_iops
+            * self.devices_per_shard
+            * self.replicas
+            * self.utilization_cap
+        )
 
     @property
     def required_shards(self) -> int:
@@ -175,13 +186,13 @@ class CapacityPlan:
 
     @property
     def total_devices(self) -> int:
-        """Devices across the fleet."""
-        return self.required_shards * self.devices_per_shard
+        """Devices across the fleet (all shards, all replicas)."""
+        return self.required_shards * self.devices_per_shard * self.replicas
 
     @property
     def expected_utilization(self) -> float:
         """Device utilization at the target rate with the planned fleet."""
-        capacity = self.required_shards * self.devices_per_shard * self.device_max_iops
+        capacity = self.total_devices * self.device_max_iops
         return self.required_fleet_iops / capacity
 
     @property
@@ -191,10 +202,16 @@ class CapacityPlan:
 
     def describe(self) -> str:
         """One-paragraph human-readable plan (CLI output)."""
+        hedge = (
+            f" (+{self.hedge_fraction:.0%} hedge duplicates)"
+            if self.hedge_fraction > 0
+            else ""
+        )
         head = (
-            f"{self.target_qps:,.0f} q/s x {self.n_io_per_query:.1f} IO/query = "
+            f"{self.target_qps:,.0f} q/s x {self.n_io_per_query:.1f} IO/query{hedge} = "
             f"{format_iops(self.required_fleet_iops)} fleet-wide; "
-            f"{self.required_shards} shard(s) x {self.devices_per_shard} device(s) "
+            f"{self.required_shards} shard(s) x {self.replicas} replica(s) x "
+            f"{self.devices_per_shard} device(s) "
             f"at <= {self.utilization_cap:.0%} utilization "
             f"(expected {self.expected_utilization:.0%})"
         )
@@ -220,12 +237,21 @@ def plan_capacity(
     devices_per_shard: int = 1,
     utilization_cap: float = DEFAULT_UTILIZATION_CAP,
     latency_floor_ns: float = 0.0,
+    replicas: int = 1,
+    hedge_fraction: float = 0.0,
 ) -> CapacityPlan:
     """Size a sharded service for ``target_qps`` at a p99 SLO.
 
     ``n_io_per_query`` comes from measurement (``average_n_io`` or a
     load test's observed I/O count per completed query);
     ``latency_floor_ns`` from a light-load run of one shard.
+
+    ``replicas`` multiplies each shard's planned IOPS (copies answer
+    from independent devices) and the fleet's device bill;
+    ``hedge_fraction`` is the duplicate-sub-query rate of hedged
+    routing (a load test's ``ServiceReport.hedge_fraction``), which
+    inflates the demand side — hedging trades exactly this IOPS
+    overhead for tail latency.
     """
     if n_io_per_query < 0:
         raise ValueError(f"n_io_per_query must be >= 0, got {n_io_per_query}")
@@ -241,6 +267,10 @@ def plan_capacity(
         raise ValueError(f"utilization_cap must be in (0, 1], got {utilization_cap}")
     if latency_floor_ns < 0:
         raise ValueError(f"latency_floor_ns must be >= 0, got {latency_floor_ns}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if hedge_fraction < 0:
+        raise ValueError(f"hedge_fraction must be >= 0, got {hedge_fraction}")
     return CapacityPlan(
         target_qps=target_qps,
         target_p99_ns=target_p99_ns,
@@ -249,4 +279,6 @@ def plan_capacity(
         devices_per_shard=devices_per_shard,
         utilization_cap=utilization_cap,
         latency_floor_ns=latency_floor_ns,
+        replicas=replicas,
+        hedge_fraction=hedge_fraction,
     )

@@ -34,6 +34,7 @@ from repro.eval.ratio import overall_ratio
 from repro.io.persistence import load_index, save_index
 from repro.serving.dispatcher import DispatchConfig
 from repro.serving.loadgen import ClosedLoopWorkload, OpenLoopWorkload
+from repro.serving.replication import ROUTING_POLICIES, FaultSpec, RoutingConfig
 from repro.serving.service import QueryService
 from repro.serving.sharding import PARTITION_SCHEMES, ShardedIndex
 from repro.storage.blockstore import FileBlockStore
@@ -107,6 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
         default="io_uring",
     )
     loadtest.add_argument("--workers", type=int, default=1, help="CPU workers per shard")
+    loadtest.add_argument(
+        "--replicas", type=int, default=1, help="copies of each shard (R)"
+    )
+    loadtest.add_argument("--routing", choices=ROUTING_POLICIES, default="round_robin")
+    loadtest.add_argument(
+        "--hedge-delay-us",
+        type=float,
+        default=None,
+        help="explicit hedge delay; default adapts to the observed sub-query p50",
+    )
+    loadtest.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SHARD:REPLICA:MULT[:PERIOD_US:STALL_US]",
+        help="degrade a replica by a latency multiplier, optionally with "
+        "intermittent stalls; repeatable",
+    )
     loadtest.add_argument("--mode", choices=("open", "closed"), default="open")
     loadtest.add_argument("--qps", type=float, default=2_000.0, help="open-loop rate")
     loadtest.add_argument("--arrivals", choices=("poisson", "uniform"), default="poisson")
@@ -214,9 +233,48 @@ def _cmd_analyze(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_fault(spec: str) -> FaultSpec:
+    """``SHARD:REPLICA:MULT[:PERIOD_US:STALL_US]`` -> :class:`FaultSpec`."""
+    fields = spec.split(":")
+    if len(fields) not in (3, 5):
+        raise SystemExit(
+            f"error: --fault wants SHARD:REPLICA:MULT[:PERIOD_US:STALL_US], got {spec!r}"
+        )
+    try:
+        shard, replica = int(fields[0]), int(fields[1])
+        multiplier = float(fields[2])
+        period_us = float(fields[3]) if len(fields) == 5 else 0.0
+        stall_us = float(fields[4]) if len(fields) == 5 else 0.0
+        return FaultSpec(
+            shard=shard,
+            replica=replica,
+            latency_multiplier=multiplier,
+            stall_period_ns=period_us * NS_PER_US,
+            stall_duration_ns=stall_us * NS_PER_US,
+        )
+    except ValueError as error:
+        raise SystemExit(f"error: bad --fault {spec!r}: {error}") from error
+
+
 def _cmd_loadtest(args: argparse.Namespace, out) -> int:
     dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
     params = _params(args, dataset.n)
+    faults = tuple(_parse_fault(spec) for spec in args.fault)
+    for fault in faults:
+        if fault.shard >= args.shards or fault.replica >= args.replicas:
+            raise SystemExit(
+                f"error: --fault targets shard {fault.shard} replica "
+                f"{fault.replica}, but the deployment is {args.shards} shard(s) "
+                f"x {args.replicas} replica(s)"
+            )
+    if args.hedge_delay_us is not None and args.routing != "hedged":
+        raise SystemExit(
+            f"error: --hedge-delay-us only applies to --routing hedged "
+            f"(got --routing {args.routing})"
+        )
+    hedge_delay_ns = (
+        args.hedge_delay_us * NS_PER_US if args.hedge_delay_us is not None else None
+    )
     sharded = ShardedIndex.build(
         dataset.data,
         params,
@@ -226,6 +284,8 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         devices_per_shard=args.devices_per_shard,
         interface=args.interface,
         seed=args.seed,
+        replicas=args.replicas,
+        faults=faults,
     )
     service = QueryService(
         sharded,
@@ -234,6 +294,7 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
             max_delay_ns=args.batch_delay_us * NS_PER_US,
             queue_capacity=args.queue_capacity,
         ),
+        routing=RoutingConfig(policy=args.routing, hedge_delay_ns=hedge_delay_ns),
         workers_per_shard=args.workers,
     )
     if args.mode == "open":
@@ -255,22 +316,28 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         )
         report = service.run_closed_loop(dataset.queries, workload, k=args.k)
         offered = f"closed loop, {args.concurrency} clients"
+    faulty = f", {len(faults)} fault(s)" if faults else ""
     out.write(
-        f"{args.shards} shard(s) ({args.scheme}) on {args.device} "
-        f"x{args.devices_per_shard} ({args.interface}), {offered}\n"
+        f"{args.shards} shard(s) x {args.replicas} replica(s) ({args.scheme}, "
+        f"{args.routing}) on {args.device} x{args.devices_per_shard} "
+        f"({args.interface}), {offered}{faulty}\n"
     )
     out.write(report.describe() + "\n")
     # Plan for the offered rate (open loop) or the rate the fleet proved
     # it can sustain (closed loop).  The fastest observed query is the
     # closest available proxy for the light-load latency floor — unlike
     # this run's p50/p99 it excludes queueing and batching delay.
+    # The measured IO/query already contains hedge duplicates; deflate it
+    # so the plan's hedge term re-adds them without double counting.
     plan = plan_capacity(
-        n_io_per_query=report.mean_ios_per_query,
+        n_io_per_query=report.mean_ios_per_query / (1.0 + report.hedge_fraction),
         target_qps=args.qps if args.mode == "open" else report.throughput_qps,
         target_p99_ns=args.target_p99_ms * NS_PER_MS,
         device_max_iops=DEVICE_PROFILES[args.device].max_iops,
         devices_per_shard=args.devices_per_shard,
         latency_floor_ns=float(service.stats.latencies_ns().min()),
+        replicas=args.replicas,
+        hedge_fraction=report.hedge_fraction,
     )
     out.write(f"capacity plan: {plan.describe()}\n")
     return 0

@@ -1,0 +1,200 @@
+"""Replicated serving under a fault: routing policy vs tail latency.
+
+Not a paper figure — this drives the replication layer of the serving
+subsystem (ROADMAP: trade IOPS for tail latency, survive a slow
+replica).  The scenario is the classic tail-at-scale one: 4 shards x 2
+replicas with one replica degraded 5x, offered the *same* open-loop
+load under each routing policy:
+
+- ``round_robin`` keeps feeding the slow replica its full share, so
+  half of that shard's sub-queries — and hence a large fraction of
+  scatter-gather queries — wait on it: the tail collapses.
+- ``least_outstanding`` organically avoids the backed-up replica.
+- ``hedged`` routes round-robin but re-issues any sub-query still
+  unanswered after a delay anchored at the observed sub-query p50; the
+  duplicate lands on the healthy replica and usually wins the race.
+
+The offered rate is calibrated to half the measured single-copy
+saturation throughput, so the healthy fleet is comfortably provisioned
+and the damage is attributable to routing, not raw capacity.  Because
+replicas are exact copies, every policy must return answers
+bit-identical to the single-copy deployment — replication and hedging
+may change *when* a query completes, never *what* it answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.params import E2LSHParams
+from repro.datasets.registry import DATASET_SPECS, load_dataset
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.ratio import overall_ratio
+from repro.experiments.config import ExperimentScale
+from repro.serving import (
+    ClosedLoopWorkload,
+    FaultSpec,
+    OpenLoopWorkload,
+    QueryService,
+    RoutingConfig,
+    ShardedIndex,
+)
+from repro.utils.units import format_time
+
+__all__ = ["ReplicaRow", "run", "format_table", "POLICIES"]
+
+K = 10
+N_SHARDS = 4
+REPLICAS = 2
+SCHEME = "table"
+FAULT_MULTIPLIER = 5.0
+#: Closed-loop probe sizing the open-loop offered rate.
+PROBE_CONCURRENCY = 32
+PROBE_REQUESTS = 128
+#: Open-loop measurement run.
+REQUESTS = 256
+#: Offered rate as a fraction of single-copy saturation throughput.
+LOAD_FRACTION = 0.5
+POLICIES: tuple[str, ...] = ("round_robin", "least_outstanding", "hedged")
+
+
+@dataclass(frozen=True)
+class ReplicaRow:
+    """Open-loop tail-latency measurements of one routing policy."""
+
+    label: str
+    policy: str
+    replicas: int
+    faulty: bool
+    offered_qps: float
+    qps: float
+    p50_ns: float
+    p99_ns: float
+    ios_per_query: float
+    rejected: int
+    hedges_issued: int
+    hedge_wins: int
+    hedge_losses: int
+    ratio: float
+    #: Answers bit-identical to the single-copy deployment's.
+    answers_match_single: bool
+
+
+def _collect_answers(service: QueryService) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    return {
+        query_id: (answer.ids, answer.distances)
+        for query_id, answer in service.answers.items()
+    }
+
+
+def _answers_equal(
+    a: dict[int, tuple[np.ndarray, np.ndarray]],
+    b: dict[int, tuple[np.ndarray, np.ndarray]],
+) -> bool:
+    if a.keys() != b.keys():
+        return False
+    return all(
+        np.array_equal(a[q][0], b[q][0]) and np.array_equal(a[q][1], b[q][1])
+        for q in a
+    )
+
+
+def run(scale: ExperimentScale, dataset_name: str) -> list[ReplicaRow]:
+    """Measure each routing policy's tail under a 1-slow-replica fault."""
+    dataset = load_dataset(
+        dataset_name, n=scale.n, n_queries=scale.n_queries, seed=scale.seed
+    )
+    spec = DATASET_SPECS[dataset_name]
+    params = E2LSHParams(n=dataset.n, rho=spec.rho, gamma=0.5, s_factor=32.0)
+    truth = exact_knn(dataset.data, dataset.queries, k=K)
+
+    single = ShardedIndex.build(
+        dataset.data, params, n_shards=N_SHARDS, scheme=SCHEME, seed=scale.seed
+    )
+    probe = QueryService(single).run_closed_loop(
+        dataset.queries,
+        ClosedLoopWorkload(
+            concurrency=PROBE_CONCURRENCY, n_queries=PROBE_REQUESTS, seed=scale.seed
+        ),
+        k=K,
+    )
+    offered_qps = LOAD_FRACTION * probe.throughput_qps
+    workload = OpenLoopWorkload(qps=offered_qps, n_queries=REQUESTS, seed=scale.seed)
+
+    fault = FaultSpec(shard=0, replica=1, latency_multiplier=FAULT_MULTIPLIER)
+    replicated = ShardedIndex.build(
+        dataset.data,
+        params,
+        n_shards=N_SHARDS,
+        scheme=SCHEME,
+        seed=scale.seed,
+        replicas=REPLICAS,
+        faults=(fault,),
+    )
+
+    def measure(
+        sharded: ShardedIndex, label: str, policy: str, faulty: bool
+    ) -> tuple[ReplicaRow, dict[int, tuple[np.ndarray, np.ndarray]]]:
+        service = QueryService(sharded, routing=RoutingConfig(policy=policy))
+        report = service.run_open_loop(dataset.queries, workload, k=K)
+        records = sorted(service.stats.records, key=lambda r: r.query_id)
+        answers = [service.answers[r.query_id].distances for r in records]
+        asked = np.array([r.pool_index for r in records])
+        ratio = overall_ratio(
+            answers,
+            GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]),
+            k=K,
+        )
+        row = ReplicaRow(
+            label=label,
+            policy=policy,
+            replicas=sharded.n_replicas,
+            faulty=faulty,
+            offered_qps=offered_qps,
+            qps=report.throughput_qps,
+            p50_ns=report.p50_ns,
+            p99_ns=report.p99_ns,
+            ios_per_query=report.mean_ios_per_query,
+            rejected=report.rejected,
+            hedges_issued=report.hedges_issued,
+            hedge_wins=report.hedge_wins,
+            hedge_losses=report.hedge_losses,
+            ratio=ratio,
+            answers_match_single=False,  # filled in below
+        )
+        return row, _collect_answers(service)
+
+    rows: list[ReplicaRow] = []
+    baseline_row, baseline_answers = measure(single, "1-copy", "round_robin", False)
+    rows.append(replace(baseline_row, answers_match_single=True))
+    for policy in POLICIES:
+        row, answers = measure(replicated, f"2-copy {policy}", policy, True)
+        rows.append(
+            replace(
+                row, answers_match_single=_answers_equal(answers, baseline_answers)
+            )
+        )
+    return rows
+
+
+def format_table(rows: list[ReplicaRow]) -> str:
+    """Render the comparison the way the paper's tables read."""
+    lines = [
+        f"{'deployment':>24s} {'offered':>8s} {'q/s':>8s} {'p50':>10s} {'p99':>10s} "
+        f"{'IO/q':>7s} {'hedges':>12s} {'ratio':>6s} {'ident':>5s}"
+    ]
+    for row in rows:
+        hedges = (
+            f"{row.hedges_issued}/{row.hedge_wins}w"
+            if row.policy == "hedged" and row.replicas > 1
+            else "-"
+        )
+        lines.append(
+            f"{row.label:>24s} {row.offered_qps:>8,.0f} {row.qps:>8,.0f} "
+            f"{format_time(row.p50_ns):>10s} {format_time(row.p99_ns):>10s} "
+            f"{row.ios_per_query:>7.1f} {hedges:>12s} {row.ratio:>6.3f} "
+            f"{'yes' if row.answers_match_single else 'NO':>5s}"
+        )
+    return "\n".join(lines)

@@ -4,16 +4,21 @@ The paper's async engine (Sec. 5.4, Eq. 7) makes a single disk-resident
 index CPU/IOPS-bound; this package puts a *service* in front of it:
 
 - :mod:`repro.serving.sharding` — partition a dataset across shards,
-  each with its own index, device volume, and engine; scatter-gather
+  each with its own device volume and async engine; scatter-gather
   top-k merging.
-- :mod:`repro.serving.dispatcher` — bounded admission queues and
-  micro-batching in front of the shards.
+- :mod:`repro.serving.replication` — R-way replica groups per shard,
+  routing policies (round-robin, least-outstanding, hedged requests),
+  and fault injection (degraded or stalling replicas).
+- :mod:`repro.serving.dispatcher` — bounded admission queues,
+  micro-batching, and hedge timers in front of the replica lanes.
 - :mod:`repro.serving.loadgen` — open-loop (Poisson / uniform arrivals,
   optional Zipf-skewed query reuse) and closed-loop workloads.
 - :mod:`repro.serving.stats` — throughput, latency percentiles, queue
-  depth, and per-shard IOPS accounting.
-- :mod:`repro.serving.service` — the discrete-event loop tying arrivals,
-  dispatch, and shard engines together in simulated time.
+  depth, per-replica IOPS and activity, and hedge win/loss accounting.
+- :mod:`repro.serving.service` — the discrete-event loop tying
+  arrivals, dispatch, hedging, and replica engines together in
+  simulated time (tie order: completions -> flushes -> hedges ->
+  arrivals).
 """
 
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
@@ -24,6 +29,13 @@ from repro.serving.loadgen import (
     QuerySelector,
     open_loop_arrivals,
 )
+from repro.serving.replication import (
+    ROUTING_POLICIES,
+    FaultSpec,
+    ReplicaGroup,
+    ReplicaRouter,
+    RoutingConfig,
+)
 from repro.serving.service import QueryService
 from repro.serving.sharding import Shard, ShardedIndex, ShardPlan, merge_answers, plan_shards
 from repro.serving.stats import ServiceReport, ServiceStats, percentile
@@ -33,9 +45,14 @@ __all__ = [
     "ClosedLoopWorkload",
     "DispatchConfig",
     "Dispatcher",
+    "FaultSpec",
     "OpenLoopWorkload",
     "QueryService",
     "QuerySelector",
+    "ROUTING_POLICIES",
+    "ReplicaGroup",
+    "ReplicaRouter",
+    "RoutingConfig",
     "ServiceReport",
     "ServiceStats",
     "Shard",

@@ -1,30 +1,46 @@
-"""Admission control and micro-batching in front of the shards.
+"""Admission control, micro-batching, and replica routing.
 
-The dispatcher keeps one *lane* per shard.  An admitted query fans out
-into one sub-query task per shard (scatter-gather); each lane buffers
-its sub-queries and releases them to the shard's engine session as a
+The dispatcher keeps one *lane* per replica — N shards x R replicas.
+An admitted query fans out into one sub-query per shard
+(scatter-gather); a :class:`~repro.serving.replication.ReplicaRouter`
+picks which replica's lane receives each sub-query.  Each lane buffers
+its sub-queries and releases them to the replica's engine session as a
 micro-batch when either
 
 - ``max_batch`` sub-queries are waiting (size trigger), or
 - the oldest waiting sub-query has been queued ``max_delay_ns`` (time
   trigger — bounds the latency cost of batching at low load).
 
-Admission is bounded per shard by ``queue_capacity`` *outstanding*
+Admission is bounded per lane by ``queue_capacity`` *outstanding*
 sub-queries (queued plus in flight).  A query is admitted only if every
-lane has a free slot; otherwise it is shed and counted — the service
-degrades by rejecting load instead of growing queues without bound.
+shard has a replica lane with a free slot; otherwise it is shed and
+counted — the service degrades by rejecting load instead of growing
+queues without bound.
+
+Under the ``hedged`` routing policy a hedge timer is armed per
+sub-query at admission.  If the primary replica has not answered when
+the timer fires, the sub-query is re-issued to a second replica and the
+first answer wins.  The loser is *cancelled* when it is still queued in
+its lane (it never reaches the device); once in flight its completion
+is simply discarded.  Both outcomes are counted
+(:class:`~repro.serving.stats.ServiceStats`), because hedging spends
+duplicate IOPS to buy tail latency and the exchange rate matters.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from repro.serving.replication import ReplicaRouter, RoutingConfig
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import ServiceStats
-from repro.storage.engine import EngineSession, Task
+from repro.storage.engine import Completion, EngineSession
 
 __all__ = ["DispatchConfig", "Dispatcher"]
 
@@ -37,7 +53,7 @@ class DispatchConfig:
     max_batch: int = 8
     #: Time trigger: flush no later than first-enqueue + this delay.
     max_delay_ns: float = 50_000.0
-    #: Max outstanding sub-queries per shard (queued + in flight).
+    #: Max outstanding sub-queries per replica lane (queued + in flight).
     queue_capacity: int = 512
 
     def __post_init__(self) -> None:
@@ -51,93 +67,268 @@ class DispatchConfig:
 
 @dataclass
 class _Lane:
-    """Per-shard admission queue."""
+    """Per-replica admission queue.
 
-    pending: list[tuple[int, Task]] = field(default_factory=list)
-    first_enqueue_ns: float = math.inf
+    ``pending`` holds ``(query_id, task, enqueue_ns)`` in enqueue order,
+    so the time-trigger deadline is always the *oldest surviving*
+    entry's — cancelling a hedge loser out of the middle (or the front)
+    of the queue never distorts younger entries' batching windows.
+    """
+
+    pending: list[tuple[int, Any, float]] = field(default_factory=list)
     outstanding: int = 0
 
     @property
     def deadline_ns(self) -> float:
-        return self.first_enqueue_ns
+        return self.pending[0][2] if self.pending else math.inf
+
+
+@dataclass
+class _HedgeState:
+    """One armed hedge timer (per admitted sub-query)."""
+
+    deadline_ns: float
+    primary: int
+    query: np.ndarray
+    k: int
+    #: Replica the duplicate went to; ``None`` until the timer fires.
+    secondary: int | None = None
+    #: Timer disarmed because the primary answered before the deadline.
+    cancelled: bool = False
 
 
 class Dispatcher:
-    """Routes admitted queries into per-shard micro-batched sessions."""
+    """Routes admitted queries into per-replica micro-batched sessions."""
 
     def __init__(
         self,
         sharded: ShardedIndex,
-        sessions: list[EngineSession],
+        sessions: Sequence[EngineSession] | Sequence[Sequence[EngineSession]],
         config: DispatchConfig,
         stats: ServiceStats,
+        routing: RoutingConfig | None = None,
     ) -> None:
-        if len(sessions) != sharded.n_shards:
-            raise ValueError(
-                f"{sharded.n_shards} shards need {sharded.n_shards} sessions, "
-                f"got {len(sessions)}"
-            )
         self.sharded = sharded
-        self.sessions = sessions
+        self.sessions = self._check_sessions(sharded, sessions)
         self.config = config
         self.stats = stats
-        self._lanes = [_Lane() for _ in sharded.shards]
+        self.routing = routing or RoutingConfig()
+        self.router = ReplicaRouter(self.routing, n_shards=sharded.n_shards)
+        self._lanes = [[_Lane() for _ in row] for row in self.sessions]
+        #: (query_id, shard) -> admission time, for hedge-anchor latencies.
+        self._admit_ns: dict[tuple[int, int], float] = {}
+        #: (query_id, shard) -> armed hedge timer.
+        self._hedges: dict[tuple[int, int], _HedgeState] = {}
+        #: Hedge timers ordered by deadline (lazily pruned).
+        self._hedge_heap: list[tuple[float, int, tuple[int, int]]] = []
+        self._hedge_seq = 0
+        #: Sub-queries whose answer arrived but whose hedge copy is still
+        #: in flight; the copy's completion is discarded on arrival.
+        self._expect_loser: set[tuple[int, int]] = set()
+
+    @staticmethod
+    def _check_sessions(
+        sharded: ShardedIndex,
+        sessions: Sequence[EngineSession] | Sequence[Sequence[EngineSession]],
+    ) -> list[list[EngineSession]]:
+        if len(sessions) != sharded.n_shards:
+            raise ValueError(
+                f"{sharded.n_shards} shards need {sharded.n_shards} session rows, "
+                f"got {len(sessions)}"
+            )
+        nested: list[list[EngineSession]] = [
+            [row] if isinstance(row, EngineSession) else list(row) for row in sessions
+        ]
+        for shard_id, (row, group) in enumerate(zip(nested, sharded.replica_groups)):
+            if len(row) != group.n_replicas:
+                raise ValueError(
+                    f"shard {shard_id} has {group.n_replicas} replicas, "
+                    f"got {len(row)} sessions"
+                )
+        return nested
 
     # -- admission ------------------------------------------------------------
 
     def admit(self, now_ns: float, query_id: int, query: np.ndarray, k: int) -> bool:
-        """Fan ``query`` out to every lane; False = shed by admission."""
-        if any(lane.outstanding >= self.config.queue_capacity for lane in self._lanes):
-            self.stats.record_rejection()
-            return False
-        for shard, lane in zip(self.sharded.shards, self._lanes):
-            lane.pending.append((query_id, shard.query_task(query, k=k)))
-            lane.outstanding += 1
-            if len(lane.pending) == 1:
-                lane.first_enqueue_ns = now_ns
-            self.stats.queue_depth_samples.append(len(lane.pending))
-        # Size trigger fires during admission, batching B queries exactly.
-        for position, lane in enumerate(self._lanes):
-            if len(lane.pending) >= self.config.max_batch:
-                self._flush(position, now_ns)
+        """Fan ``query`` out to one replica lane per shard; False = shed."""
+        targets: list[int] = []
+        for shard_id in range(self.sharded.n_shards):
+            lanes = self._lanes[shard_id]
+            replica = self.router.route(
+                shard_id, [lane.outstanding for lane in lanes], self.config.queue_capacity
+            )
+            if replica is None:
+                self.stats.record_rejection()
+                return False
+            targets.append(replica)
+        hedge_delay = self.router.hedge_delay_ns()
+        for shard_id, (shard, replica) in enumerate(zip(self.sharded.shards, targets)):
+            self.router.commit(shard_id, replica)
+            self._enqueue(shard_id, replica, query_id, shard.query_task(query, k=k), now_ns)
+            self._admit_ns[(query_id, shard_id)] = now_ns
+            # A single-lane shard has nowhere to hedge to; arming a timer
+            # would only litter the ledger with suppressed fires.
+            if hedge_delay is not None and len(self._lanes[shard_id]) > 1:
+                self._arm_hedge(query_id, shard_id, replica, query, k, now_ns + hedge_delay)
+        # Size trigger fires during admission, batching B sub-queries exactly.
+        for shard_id, replica in enumerate(targets):
+            if len(self._lanes[shard_id][replica].pending) >= self.config.max_batch:
+                self._flush(shard_id, replica, now_ns)
         return True
+
+    def _enqueue(
+        self, shard_id: int, replica: int, query_id: int, task: Any, now_ns: float
+    ) -> None:
+        lane = self._lanes[shard_id][replica]
+        lane.pending.append((query_id, task, now_ns))
+        lane.outstanding += 1
+        self.stats.queue_depth_samples.append(len(lane.pending))
 
     # -- flushing -------------------------------------------------------------
 
     @property
     def has_pending(self) -> bool:
         """True while any lane holds unflushed sub-queries."""
-        return any(lane.pending for lane in self._lanes)
+        return any(lane.pending for row in self._lanes for lane in row)
 
     @property
     def next_flush_ns(self) -> float:
         """Earliest time trigger across lanes (``inf`` when all empty)."""
         deadlines = [
             lane.deadline_ns + self.config.max_delay_ns
-            for lane in self._lanes
+            for row in self._lanes
+            for lane in row
             if lane.pending
         ]
         return min(deadlines, default=math.inf)
 
     def flush_due(self, now_ns: float) -> None:
         """Fire every lane whose time trigger has passed."""
-        for position, lane in enumerate(self._lanes):
-            if lane.pending and lane.deadline_ns + self.config.max_delay_ns <= now_ns:
-                self._flush(position, now_ns)
+        for shard_id, row in enumerate(self._lanes):
+            for replica, lane in enumerate(row):
+                if lane.pending and lane.deadline_ns + self.config.max_delay_ns <= now_ns:
+                    self._flush(shard_id, replica, now_ns)
 
-    def _flush(self, position: int, now_ns: float) -> None:
-        lane = self._lanes[position]
+    def _flush(self, shard_id: int, replica: int, now_ns: float) -> None:
+        lane = self._lanes[shard_id][replica]
         self.stats.batch_sizes.append(len(lane.pending))
-        for query_id, task in lane.pending:
-            self.sessions[position].submit(task, ready_ns=now_ns, tag=query_id)
+        for query_id, task, _ in lane.pending:
+            self.sessions[shard_id][replica].submit(task, ready_ns=now_ns, tag=query_id)
         lane.pending.clear()
-        lane.first_enqueue_ns = math.inf
+
+    # -- hedging --------------------------------------------------------------
+
+    def _arm_hedge(
+        self,
+        query_id: int,
+        shard_id: int,
+        primary: int,
+        query: np.ndarray,
+        k: int,
+        deadline_ns: float,
+    ) -> None:
+        key = (query_id, shard_id)
+        self._hedges[key] = _HedgeState(
+            deadline_ns=deadline_ns, primary=primary, query=query, k=k
+        )
+        heapq.heappush(self._hedge_heap, (deadline_ns, self._hedge_seq, key))
+        self._hedge_seq += 1
+        self.stats.hedges_armed += 1
+
+    def _prune_hedges(self) -> None:
+        while self._hedge_heap:
+            _, _, key = self._hedge_heap[0]
+            state = self._hedges.get(key)
+            if state is None or state.cancelled or state.secondary is not None:
+                heapq.heappop(self._hedge_heap)
+            else:
+                return
+
+    @property
+    def next_hedge_ns(self) -> float:
+        """Earliest armed hedge deadline (``inf`` when none)."""
+        self._prune_hedges()
+        return self._hedge_heap[0][0] if self._hedge_heap else math.inf
+
+    def fire_hedges(self, now_ns: float) -> None:
+        """Re-issue every sub-query whose hedge deadline has passed."""
+        self._prune_hedges()
+        while self._hedge_heap and self._hedge_heap[0][0] <= now_ns:
+            _, _, key = heapq.heappop(self._hedge_heap)
+            state = self._hedges.get(key)
+            if state is None or state.cancelled or state.secondary is not None:
+                continue
+            query_id, shard_id = key
+            lanes = self._lanes[shard_id]
+            secondary = self.router.secondary(
+                shard_id,
+                state.primary,
+                [lane.outstanding for lane in lanes],
+                self.config.queue_capacity,
+            )
+            if secondary is None:
+                # No replica can take the duplicate; leave the primary be.
+                state.cancelled = True
+                self.stats.hedges_suppressed += 1
+                continue
+            state.secondary = secondary
+            task = self.sharded.shards[shard_id].query_task(state.query, k=state.k)
+            self._enqueue(shard_id, secondary, query_id, task, now_ns)
+            self.stats.hedges_issued += 1
+            if len(lanes[secondary].pending) >= self.config.max_batch:
+                self._flush(shard_id, secondary, now_ns)
+            self._prune_hedges()
+
+    def _cancel_queued(self, shard_id: int, replica: int, query_id: int) -> bool:
+        """Drop a still-queued copy of (query_id, shard) from its lane."""
+        lane = self._lanes[shard_id][replica]
+        for position, (queued_id, _, _) in enumerate(lane.pending):
+            if queued_id == query_id:
+                del lane.pending[position]
+                lane.outstanding -= 1
+                return True
+        return False
 
     # -- completion bookkeeping ----------------------------------------------
 
-    def subquery_done(self, position: int) -> None:
-        """Release one outstanding slot on shard ``position``."""
-        lane = self._lanes[position]
+    def subquery_done(
+        self, shard_id: int, replica: int, completion: Completion
+    ) -> Any | None:
+        """Process one replica completion.
+
+        Returns the sub-query's answer when this completion wins (first
+        copy to finish), or ``None`` for a hedge loser whose answer
+        already arrived from the other replica.
+        """
+        lane = self._lanes[shard_id][replica]
         if lane.outstanding <= 0:
-            raise RuntimeError(f"shard {position} has no outstanding sub-queries")
+            raise RuntimeError(
+                f"shard {shard_id} replica {replica} has no outstanding sub-queries"
+            )
         lane.outstanding -= 1
+        key = (completion.tag, shard_id)
+        if key in self._expect_loser:
+            self._expect_loser.discard(key)
+            return None
+        admit_ns = self._admit_ns.pop(key, None)
+        if admit_ns is None:  # pragma: no cover - defensive
+            raise RuntimeError(f"completion for unknown sub-query {key}")
+        self.router.observe(completion.finish_ns - admit_ns)
+        state = self._hedges.pop(key, None)
+        if state is not None and not state.cancelled:
+            if state.secondary is None:
+                # Primary answered before the timer fired: disarm it.
+                state.cancelled = True
+                self.stats.hedges_cancelled += 1
+            else:
+                loser = state.primary if replica == state.secondary else state.secondary
+                if replica == state.secondary:
+                    self.stats.hedge_wins += 1
+                else:
+                    self.stats.hedge_losses += 1
+                if self._cancel_queued(shard_id, loser, completion.tag):
+                    # The losing copy never reached the device.
+                    self.stats.hedge_losers_cancelled += 1
+                else:
+                    self._expect_loser.add(key)
+        return completion.result

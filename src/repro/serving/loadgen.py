@@ -12,6 +12,12 @@ pool is cycled round-robin; a Zipf exponent > 0 skews reuse toward the
 head of the pool, the classic "popular queries" shape that makes
 result/page caching worthwhile (a ROADMAP follow-on).
 
+For fault-injected load tests, pair a workload with
+:class:`~repro.serving.replication.FaultSpec` (a degraded or stalling
+replica passed to ``ShardedIndex.build``): the same deterministic
+arrival stream then measures how each routing policy degrades — the
+symmetric-replica case where every policy ties is the control.
+
 Everything is deterministic given the workload seed.
 """
 

@@ -1,0 +1,379 @@
+"""R-way shard replication: replica groups, routing, fault injection.
+
+A shard holds a *copy* of its slice of the index; replication puts R
+such copies on R independent device volumes so the dispatcher can trade
+IOPS for tail latency.  Because the simulator separates bytes (the
+block store) from timing (the device volume), replicas share one store
+and one built index — only the timing components are duplicated, which
+is exactly what distinguishes replicas from shards.
+
+Three routing policies decide which replica serves a sub-query:
+
+- ``round_robin``: cycle through the replicas of each shard, skipping
+  lanes that are at capacity.  Oblivious — a slow replica keeps
+  receiving its full share and drags the tail.
+- ``least_outstanding``: pick the replica with the fewest outstanding
+  sub-queries (ties break to the lowest replica index, so replays are
+  deterministic).  A degraded replica backs up and is organically
+  avoided.
+- ``hedged``: route like ``round_robin``, but arm a *hedge timer* at
+  admission; if the primary has not answered after a delay anchored at
+  the observed sub-query p50, re-issue the sub-query to a second
+  replica and take whichever copy answers first.  The loser is
+  cancelled if it is still queued, and counted either way — hedging
+  buys tail latency with duplicate IOPS, and the accounting makes the
+  price visible.
+
+Fault injection (:class:`FaultSpec`) degrades a chosen replica with a
+latency multiplier and/or intermittent stalls.  Without a fault the
+simulated replicas are symmetric and hedges almost never win the race;
+a single slow replica is the scenario where hedged routing measurably
+beats round-robin (see ``benchmarks/test_serving_replicas.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import insort
+from collections.abc import Sequence
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+from repro.storage.blockstore import BlockStore
+from repro.storage.device import DeviceProfile, StorageDevice
+from repro.storage.engine import AsyncIOEngine, EngineSession
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
+from repro.storage.raid import StripedVolume
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
+    from repro.serving.sharding import Shard
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "FaultSpec",
+    "RoutingConfig",
+    "ReplicaGroup",
+    "ReplicaRouter",
+    "build_replica_engines",
+]
+
+ROUTING_POLICIES = ("round_robin", "least_outstanding", "hedged")
+
+#: Adaptive hedge anchoring stops recording once this many sub-query
+#: latencies are held: memory stays bounded and sorted insertion stays
+#: cheap, and after thousands of observations the quantile is stable.
+#: (Load-shift tracking over longer horizons would want a decaying
+#: estimator instead; not needed at simulation scales.)
+HEDGE_OBSERVATION_CAP = 4096
+
+
+# --------------------------------------------------------------------------
+# Fault injection
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Degrade one replica of one shard.
+
+    ``latency_multiplier`` stretches the device's service time and
+    shrinks its saturated IOPS by the same factor (a uniformly slow
+    copy — thermal throttling, a failing drive, a noisy neighbour).
+    ``stall_period_ns``/``stall_duration_ns`` add intermittent stalls:
+    for the first ``stall_duration_ns`` of every ``stall_period_ns``
+    window the device accepts no new requests (garbage collection
+    pauses); requests submitted during a stall wait for the window to
+    end, in-flight requests complete normally.
+    """
+
+    shard: int
+    replica: int
+    latency_multiplier: float = 1.0
+    stall_period_ns: float = 0.0
+    stall_duration_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ValueError(f"shard must be >= 0, got {self.shard}")
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.latency_multiplier < 1.0:
+            raise ValueError(
+                f"latency_multiplier must be >= 1, got {self.latency_multiplier}"
+            )
+        if self.stall_duration_ns < 0 or self.stall_period_ns < 0:
+            raise ValueError("stall period/duration must be >= 0")
+        if (self.stall_duration_ns > 0) != (self.stall_period_ns > 0):
+            raise ValueError(
+                "stall_period_ns and stall_duration_ns must be set together "
+                f"(got period={self.stall_period_ns}, duration={self.stall_duration_ns})"
+            )
+        if self.stall_duration_ns > 0 and self.stall_period_ns <= self.stall_duration_ns:
+            raise ValueError(
+                f"stall_period_ns ({self.stall_period_ns}) must exceed "
+                f"stall_duration_ns ({self.stall_duration_ns})"
+            )
+
+    def applies_to(self, shard: int, replica: int) -> bool:
+        """True when this fault targets the given replica."""
+        return self.shard == shard and self.replica == replica
+
+    def degrade(self, profile: DeviceProfile) -> DeviceProfile:
+        """The member-device profile after the latency multiplier."""
+        if self.latency_multiplier == 1.0:
+            return profile
+        return replace(
+            profile,
+            name=f"{profile.name}!x{self.latency_multiplier:g}",
+            latency_ns=profile.latency_ns * self.latency_multiplier,
+            max_iops=profile.max_iops / self.latency_multiplier,
+        )
+
+
+class StallingDevice(StorageDevice):
+    """A device that periodically refuses new submissions.
+
+    Submissions landing inside a stall window are deferred to the end of
+    the window; everything else follows the base timing model.
+    """
+
+    def __init__(self, profile: DeviceProfile, period_ns: float, duration_ns: float) -> None:
+        super().__init__(profile)
+        if duration_ns <= 0 or period_ns <= duration_ns:
+            raise ValueError("need 0 < duration_ns < period_ns")
+        self.period_ns = period_ns
+        self.duration_ns = duration_ns
+
+    def _deferred(self, submit_ns: float) -> float:
+        phase = submit_ns % self.period_ns
+        if phase < self.duration_ns:
+            return submit_ns - phase + self.duration_ns
+        return submit_ns
+
+    def submit(self, submit_ns: float, length: int) -> float:
+        return super().submit(self._deferred(submit_ns), length)
+
+
+def build_replica_engines(
+    store: BlockStore,
+    shard_id: int,
+    replicas: int = 1,
+    device: str = "cssd",
+    devices_per_replica: int = 1,
+    interface: str = "io_uring",
+    faults: Sequence[FaultSpec] = (),
+    stripe_unit: int = 512,
+) -> tuple[list[AsyncIOEngine], list[DeviceProfile]]:
+    """One engine (own device volume) per replica over a shared store.
+
+    Returns the engines plus the member-device profile of each replica
+    after any matching :class:`FaultSpec` has been applied.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if device not in DEVICE_PROFILES:
+        raise KeyError(f"unknown device {device!r}; known: {sorted(DEVICE_PROFILES)}")
+    if interface not in INTERFACE_PROFILES:
+        raise KeyError(
+            f"unknown interface {interface!r}; known: {sorted(INTERFACE_PROFILES)}"
+        )
+    engines: list[AsyncIOEngine] = []
+    profiles: list[DeviceProfile] = []
+    for replica in range(replicas):
+        profile = DEVICE_PROFILES[device]
+        matching = [f for f in faults if f.applies_to(shard_id, replica)]
+        for fault in matching:
+            profile = fault.degrade(profile)
+        stalls = [f for f in matching if f.stall_duration_ns > 0]
+        if len(stalls) > 1:
+            raise ValueError(
+                f"shard {shard_id} replica {replica} has {len(stalls)} stall "
+                "faults; compose them into one FaultSpec (overlapping stall "
+                "windows are not modeled)"
+            )
+        if stalls:
+            members = [
+                StallingDevice(
+                    profile, stalls[0].stall_period_ns, stalls[0].stall_duration_ns
+                )
+                for _ in range(devices_per_replica)
+            ]
+            volume = StripedVolume(members, stripe_unit=stripe_unit)
+        else:
+            volume = StripedVolume.of(profile, devices_per_replica, stripe_unit)
+        engines.append(AsyncIOEngine(volume, INTERFACE_PROFILES[interface], store))
+        profiles.append(profile)
+    return engines, profiles
+
+
+# --------------------------------------------------------------------------
+# Replica groups
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class ReplicaGroup:
+    """R copies of one shard: shared index and store, independent timing."""
+
+    shard: "Shard"
+    engines: list[AsyncIOEngine]
+    #: Member-device profile of each replica (after fault degradation).
+    profiles: list[DeviceProfile]
+
+    def __post_init__(self) -> None:
+        if not self.engines:
+            raise ValueError("a replica group needs at least one engine")
+        if len(self.profiles) != len(self.engines):
+            raise ValueError(
+                f"{len(self.engines)} engines need {len(self.engines)} profiles, "
+                f"got {len(self.profiles)}"
+            )
+
+    @property
+    def n_replicas(self) -> int:
+        """Replication factor R of this shard."""
+        return len(self.engines)
+
+    def sessions(self, workers: int = 1) -> list[EngineSession]:
+        """Open one incremental session per replica."""
+        return [engine.session(workers=workers) for engine in self.engines]
+
+
+# --------------------------------------------------------------------------
+# Routing
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RoutingConfig:
+    """Replica-selection policy and hedging knobs."""
+
+    policy: str = "round_robin"
+    #: Explicit hedge delay; ``None`` adapts to the observed sub-query
+    #: latency quantile below.
+    hedge_delay_ns: float | None = None
+    #: Quantile (percent) anchoring the adaptive hedge delay.
+    hedge_quantile: float = 50.0
+    #: Scale applied to the anchored quantile (1.0 = hedge at p50).
+    hedge_multiplier: float = 1.0
+    #: Completed sub-queries required before adaptive hedging arms.
+    hedge_min_observations: int = 8
+
+    def __post_init__(self) -> None:
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; known: {ROUTING_POLICIES}"
+            )
+        if self.hedge_delay_ns is not None and self.hedge_delay_ns < 0:
+            raise ValueError(f"hedge_delay_ns must be >= 0, got {self.hedge_delay_ns}")
+        if self.hedge_delay_ns is not None and self.policy != "hedged":
+            raise ValueError(
+                f"hedge_delay_ns is set but policy is {self.policy!r}; "
+                "only 'hedged' issues hedged requests"
+            )
+        if not 0 < self.hedge_quantile <= 100:
+            raise ValueError(
+                f"hedge_quantile must be in (0, 100], got {self.hedge_quantile}"
+            )
+        if self.hedge_multiplier <= 0:
+            raise ValueError(
+                f"hedge_multiplier must be positive, got {self.hedge_multiplier}"
+            )
+        if self.hedge_min_observations < 1:
+            raise ValueError(
+                f"hedge_min_observations must be >= 1, got {self.hedge_min_observations}"
+            )
+
+    @property
+    def hedging(self) -> bool:
+        """True when the policy issues hedged requests."""
+        return self.policy == "hedged"
+
+
+@dataclass
+class ReplicaRouter:
+    """Stateful replica selection for one dispatcher run.
+
+    The router owns the round-robin cursors and the sub-query latency
+    observations that anchor the adaptive hedge delay; the dispatcher
+    owns the lanes and passes their outstanding counts in.
+    """
+
+    config: RoutingConfig
+    n_shards: int
+    _cursors: list[int] = field(init=False)
+    #: Observed sub-query latencies, kept sorted (``insort``) so the
+    #: quantile anchor is an O(1) index read per admission instead of a
+    #: full sort — long runs would otherwise go quadratic.
+    _observed_ns: list[float] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        self._cursors = [0] * self.n_shards
+
+    def route(self, shard: int, outstanding: Sequence[int], capacity: int) -> int | None:
+        """Replica to serve the next sub-query; ``None`` when all full.
+
+        Pure probe — round-robin cursors advance only on :meth:`commit`,
+        so a query shed because *another* shard is full leaves every
+        cursor untouched (otherwise alternating admit/shed patterns
+        would pin a shard's traffic onto one replica).
+        """
+        n = len(outstanding)
+        if self.config.policy == "least_outstanding":
+            best = min(range(n), key=lambda r: (outstanding[r], r))
+            return best if outstanding[best] < capacity else None
+        # round_robin and hedged: cycle, skipping lanes at capacity.
+        cursor = self._cursors[shard]
+        for step in range(n):
+            candidate = (cursor + step) % n
+            if outstanding[candidate] < capacity:
+                return candidate
+        return None
+
+    def commit(self, shard: int, replica: int) -> None:
+        """Record that the probed ``replica`` actually received work."""
+        self._cursors[shard] = replica + 1  # route() reduces modulo R
+
+    def secondary(
+        self, shard: int, primary: int, outstanding: Sequence[int], capacity: int
+    ) -> int | None:
+        """Hedge target: least-outstanding replica other than ``primary``."""
+        candidates = [
+            r
+            for r in range(len(outstanding))
+            if r != primary and outstanding[r] < capacity
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (outstanding[r], r))
+
+    def observe(self, latency_ns: float) -> None:
+        """Record one completed sub-query's admission-to-answer latency.
+
+        Only the adaptive hedge anchor reads these, so recording is a
+        no-op under other policies (and under an explicit hedge delay).
+        """
+        if not self.config.hedging or self.config.hedge_delay_ns is not None:
+            return
+        if len(self._observed_ns) < HEDGE_OBSERVATION_CAP:
+            insort(self._observed_ns, latency_ns)
+
+    @property
+    def observations(self) -> int:
+        """Sub-query latencies recorded so far."""
+        return len(self._observed_ns)
+
+    def hedge_delay_ns(self) -> float | None:
+        """Current hedge delay; ``None`` while hedging is not armed."""
+        if not self.config.hedging:
+            return None
+        if self.config.hedge_delay_ns is not None:
+            return self.config.hedge_delay_ns
+        count = len(self._observed_ns)
+        if count < self.config.hedge_min_observations:
+            return None
+        # Nearest-rank quantile straight off the sorted observations.
+        rank = math.ceil(self.config.hedge_quantile / 100 * count)
+        return self._observed_ns[rank - 1] * self.config.hedge_multiplier

@@ -1,19 +1,29 @@
-"""The query service: arrivals -> dispatcher -> shard engines, in one
+"""The query service: arrivals -> dispatcher -> replica engines, in one
 simulated clock.
 
-The loop is a three-source discrete-event simulation.  At every
+The loop is a four-source discrete-event simulation.  At every
 iteration the earliest of
 
-1. the next query arrival,
+1. the next resumable task on any replica's engine session,
 2. the next micro-batch time trigger (dispatcher lane deadline),
-3. the next resumable task on any shard's engine session
+3. the next armed hedge deadline (hedged routing only),
+4. the next query arrival
 
-is processed.  Shard sessions advance independently (each shard owns its
-device volume), but completions feed back into the loop: the last shard
-answer of a query completes it, and — under a closed-loop workload —
-issues that client's next query.  The scatter-gather merge itself is
-charged zero time (a k-way merge of a few dozen candidates is noise next
-to hashing and I/O).
+is processed.  **Tie order is part of the contract**: at equal
+timestamps, completions run before flushes, flushes before hedges,
+hedges before arrivals.  Completions first means a sub-query finishing
+exactly at its hedge deadline cancels the timer instead of issuing a
+useless duplicate, and frees its admission slot before a same-instant
+arrival is considered; hedges before arrivals means a duplicate joins
+the micro-batch an arrival would trigger.  Regression tests pin this
+order — do not reorder the branches.
+
+Replica sessions advance independently (each replica owns its device
+volume), but completions feed back into the loop: the last shard answer
+of a query completes it, and — under a closed-loop workload — issues
+that client's next query.  The scatter-gather merge itself is charged
+zero time (a k-way merge of a few dozen candidates is noise next to
+hashing and I/O).
 
 Rejected queries (bounded admission) complete immediately from the
 client's point of view: an open-loop client just goes away; a
@@ -37,6 +47,7 @@ from repro.serving.loadgen import (
     QuerySelector,
     open_loop_arrivals,
 )
+from repro.serving.replication import RoutingConfig
 from repro.serving.sharding import ShardedIndex, merge_answers
 from repro.serving.stats import ServiceReport, ServiceStats
 
@@ -50,10 +61,12 @@ class QueryService:
         self,
         sharded: ShardedIndex,
         dispatch: DispatchConfig | None = None,
+        routing: RoutingConfig | None = None,
         workers_per_shard: int = 1,
     ) -> None:
         self.sharded = sharded
         self.dispatch = dispatch or DispatchConfig()
+        self.routing = routing or RoutingConfig()
         self.workers_per_shard = workers_per_shard
         #: Merged answers of the last run, keyed by query id.
         self.answers: dict[int, QueryAnswer] = {}
@@ -110,11 +123,18 @@ class QueryService:
         self.stats = ServiceStats()
         self.answers = {}
         sessions = [
-            shard.engine.session(workers=self.workers_per_shard)
-            for shard in self.sharded.shards
+            group.sessions(workers=self.workers_per_shard)
+            for group in self.sharded.replica_groups
         ]
-        dispatcher = Dispatcher(self.sharded, sessions, self.dispatch, self.stats)
+        dispatcher = Dispatcher(
+            self.sharded, sessions, self.dispatch, self.stats, routing=self.routing
+        )
         n_shards = self.sharded.n_shards
+        flat_sessions = [
+            (shard_id, replica, session)
+            for shard_id, row in enumerate(sessions)
+            for replica, session in enumerate(row)
+        ]
 
         arrival_heap = [(a.time_ns, a.query_id, a.pool_index) for a in arrivals]
         heapq.heapify(arrival_heap)
@@ -127,56 +147,69 @@ class QueryService:
                     arrival_heap, (arrival.time_ns, arrival.query_id, arrival.pool_index)
                 )
 
-        while arrival_heap or dispatcher.has_pending or any(s.has_work for s in sessions):
+        while (
+            arrival_heap
+            or dispatcher.has_pending
+            or any(session.has_work for _, _, session in flat_sessions)
+        ):
             t_arrival = arrival_heap[0][0] if arrival_heap else math.inf
             t_flush = dispatcher.next_flush_ns
-            engine_position = min(
-                range(n_shards), key=lambda i: sessions[i].next_ready_ns
+            t_hedge = dispatcher.next_hedge_ns
+            shard_id, replica, session = min(
+                flat_sessions, key=lambda entry: entry[2].next_ready_ns
             )
-            t_engine = sessions[engine_position].next_ready_ns
-            now = min(t_arrival, t_flush, t_engine)
-            if math.isinf(now):  # pragma: no cover - defensive
-                break
+            t_engine = session.next_ready_ns
+            if math.isinf(min(t_arrival, t_flush, t_hedge, t_engine)):
+                break  # pragma: no cover - defensive
 
-            if t_arrival <= min(t_flush, t_engine):
-                _, query_id, pool_index = heapq.heappop(arrival_heap)
-                if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
-                    in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
-                elif on_done is not None:
-                    # Closed loop: the shed client retries after a backoff.
-                    issue(
-                        Arrival(
-                            query_id=query_id,
-                            time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
-                            pool_index=pool_index,
-                        )
-                    )
+            # Contract: completions -> flushes -> hedges -> arrivals.
+            if t_engine <= min(t_flush, t_hedge, t_arrival):
+                completion = session.step()
+                if completion is None:
+                    continue
+                part = dispatcher.subquery_done(shard_id, replica, completion)
+                if part is None:
+                    continue  # hedge loser; the answer already arrived
+                query_id = completion.tag
+                arrival_ns, pool_index, parts, latest = in_flight[query_id]
+                parts.append(part)
+                latest = max(latest, completion.finish_ns)
+                if len(parts) < n_shards:
+                    in_flight[query_id] = (arrival_ns, pool_index, parts, latest)
+                    continue
+                del in_flight[query_id]
+                self.answers[query_id] = merge_answers(parts, k)
+                self.stats.record_completion(query_id, pool_index, arrival_ns, latest)
+                if on_done is not None:
+                    issue(on_done(latest))
                 continue
 
-            if t_flush <= t_engine:
+            if t_flush <= min(t_hedge, t_arrival):
                 dispatcher.flush_due(t_flush)
                 continue
 
-            completion = sessions[engine_position].step()
-            if completion is None:
+            if t_hedge <= t_arrival:
+                dispatcher.fire_hedges(t_hedge)
                 continue
-            dispatcher.subquery_done(engine_position)
-            query_id = completion.tag
-            arrival_ns, pool_index, parts, latest = in_flight[query_id]
-            parts.append(completion.result)
-            latest = max(latest, completion.finish_ns)
-            if len(parts) < n_shards:
-                in_flight[query_id] = (arrival_ns, pool_index, parts, latest)
-                continue
-            del in_flight[query_id]
-            self.answers[query_id] = merge_answers(parts, k)
-            self.stats.record_completion(query_id, pool_index, arrival_ns, latest)
-            if on_done is not None:
-                issue(on_done(latest))
+
+            _, query_id, pool_index = heapq.heappop(arrival_heap)
+            if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
+                in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
+            elif on_done is not None:
+                # Closed loop: the shed client retries after a backoff.
+                issue(
+                    Arrival(
+                        query_id=query_id,
+                        time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
+                        pool_index=pool_index,
+                    )
+                )
 
         if in_flight:  # pragma: no cover - defensive
             raise RuntimeError(f"{len(in_flight)} queries never completed")
-        return self.stats.report([session.result() for session in sessions])
+        return self.stats.report(
+            [[session.result() for session in row] for row in sessions]
+        )
 
     @staticmethod
     def _check_pool(pool: np.ndarray) -> np.ndarray:

@@ -64,9 +64,9 @@ from repro.core.lsh import CompoundHashBank
 from repro.core.params import E2LSHParams
 from repro.core.query_stats import QueryStats
 from repro.core.radii import RadiusLadder
+from repro.serving.replication import FaultSpec, ReplicaGroup, build_replica_engines
 from repro.storage.blockstore import MemoryBlockStore
 from repro.storage.engine import AsyncIOEngine, EngineResult, Task
-from repro.storage.profiles import make_engine
 
 __all__ = [
     "PARTITION_SCHEMES",
@@ -195,13 +195,43 @@ class ShardedBatchResult:
 
 
 class ShardedIndex:
-    """A dataset partitioned across N independent E2LSHoS shards."""
+    """A dataset partitioned across N independent E2LSHoS shards.
 
-    def __init__(self, shards: list[Shard], plan: ShardPlan) -> None:
+    Each shard may be replicated R ways (``replica_groups``): the
+    replicas share the shard's built index and block store but own
+    independent device volumes, so routing between them trades IOPS
+    for tail latency.  ``shards[i].engine`` is replica 0 of group
+    ``i`` — the single-copy view used by the batch :meth:`run` path.
+    """
+
+    def __init__(
+        self,
+        shards: list[Shard],
+        plan: ShardPlan,
+        replica_groups: list[ReplicaGroup] | None = None,
+    ) -> None:
         if not shards:
             raise ValueError("a sharded index needs at least one shard")
+        if replica_groups is None:
+            replica_groups = [
+                ReplicaGroup(
+                    shard=shard,
+                    engines=[shard.engine],
+                    profiles=[shard.engine.volume.devices[0].profile],
+                )
+                for shard in shards
+            ]
+        if len(replica_groups) != len(shards):
+            raise ValueError(
+                f"{len(shards)} shards need {len(shards)} replica groups, "
+                f"got {len(replica_groups)}"
+            )
+        factors = {group.n_replicas for group in replica_groups}
+        if len(factors) != 1:
+            raise ValueError(f"replication factor must be uniform, got {sorted(factors)}")
         self.shards = shards
         self.plan = plan
+        self.replica_groups = replica_groups
 
     @classmethod
     def build(
@@ -216,6 +246,8 @@ class ShardedIndex:
         block_size: int = 512,
         seed: int = 0,
         machine: MachineModel = DEFAULT_MACHINE,
+        replicas: int = 1,
+        faults: Sequence[FaultSpec] = (),
     ) -> "ShardedIndex":
         """Partition ``data`` and build one index + engine per shard.
 
@@ -224,7 +256,17 @@ class ShardedIndex:
         radius ladder (see the module docstring), while its ``n`` — and
         hence its storage, DRAM filters, and ID codec — reflects only
         the subset it owns.  The S budget is split evenly.
+
+        ``replicas`` puts R copies of each shard on independent device
+        volumes; ``faults`` degrades chosen replicas (see
+        :class:`~repro.serving.replication.FaultSpec`).
         """
+        for fault in faults:
+            if fault.shard >= n_shards or fault.replica >= replicas:
+                raise ValueError(
+                    f"fault targets shard {fault.shard} replica {fault.replica}, "
+                    f"deployment has {n_shards} shards x {replicas} replicas"
+                )
         data = np.ascontiguousarray(data, dtype=np.float32)
         params = params if params is not None else E2LSHParams(n=data.shape[0])
         if params.n != data.shape[0]:
@@ -236,6 +278,7 @@ class ShardedIndex:
         )
         ladder = RadiusLadder.for_data(data, params.c)
         shards: list[Shard] = []
+        replica_groups: list[ReplicaGroup] = []
         for shard_id in range(n_shards):
             members = plan.members(shard_id)
             if scheme == "table":
@@ -273,24 +316,37 @@ class ShardedIndex:
                 machine=machine,
                 bank=shard_bank,
             )
-            engine = make_engine(
-                store, device=device, count=devices_per_shard, interface=interface
+            engines, profiles = build_replica_engines(
+                store,
+                shard_id,
+                replicas=replicas,
+                device=device,
+                devices_per_replica=devices_per_shard,
+                interface=interface,
+                faults=faults,
             )
-            shards.append(
-                Shard(
-                    shard_id=shard_id,
-                    index=index,
-                    engine=engine,
-                    global_ids=global_ids,
-                    quota_shards=quota_shards,
-                )
+            shard = Shard(
+                shard_id=shard_id,
+                index=index,
+                engine=engines[0],
+                global_ids=global_ids,
+                quota_shards=quota_shards,
             )
-        return cls(shards, plan)
+            shards.append(shard)
+            replica_groups.append(
+                ReplicaGroup(shard=shard, engines=engines, profiles=profiles)
+            )
+        return cls(shards, plan, replica_groups)
 
     @property
     def n_shards(self) -> int:
         """Number of shards."""
         return len(self.shards)
+
+    @property
+    def n_replicas(self) -> int:
+        """Replication factor R (uniform across shards)."""
+        return self.replica_groups[0].n_replicas
 
     @property
     def storage_bytes(self) -> int:

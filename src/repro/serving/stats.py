@@ -6,6 +6,13 @@ the bare engine makespan of a batch run.  Percentiles use the
 nearest-rank definition (deterministic, no interpolation), which is what
 SLO accounting wants: "p99 = 2.1 ms" means 99% of completed queries
 finished in at most 2.1 ms of simulated time.
+
+With replicated shards the report carries two granularities: per-shard
+aggregates (summed over the shard's replicas, backward compatible with
+the single-copy fields) and per-replica IOPS / I/O counts /
+active-window fractions, plus the hedge ledger — armed, cancelled
+(primary answered before the timer fired), issued, wins, losses, and
+losers cancelled while still queued.
 """
 
 from __future__ import annotations
@@ -55,10 +62,24 @@ class ServiceStats:
 
     records: list[QueryRecord] = field(default_factory=list)
     rejected: int = 0
-    #: Admission-queue depth sampled at every enqueue (all shards pooled).
+    #: Admission-queue depth sampled at every enqueue (all lanes pooled).
     queue_depth_samples: list[int] = field(default_factory=list)
     #: Sub-queries per dispatched micro-batch.
     batch_sizes: list[int] = field(default_factory=list)
+    #: Hedge timers armed at admission (hedged routing only).
+    hedges_armed: int = 0
+    #: Timers disarmed because the primary answered before the deadline.
+    hedges_cancelled: int = 0
+    #: Duplicates actually re-issued to a second replica.
+    hedges_issued: int = 0
+    #: Duplicates whose answer beat the primary's.
+    hedge_wins: int = 0
+    #: Duplicates beaten by the primary.
+    hedge_losses: int = 0
+    #: Losing copies cancelled while still queued (never cost device I/O).
+    hedge_losers_cancelled: int = 0
+    #: Timers that fired with no replica able to take the duplicate.
+    hedges_suppressed: int = 0
 
     def record_completion(
         self, query_id: int, pool_index: int, arrival_ns: float, finish_ns: float
@@ -81,14 +102,32 @@ class ServiceStats:
         """Completed-query latencies in completion order."""
         return np.array([record.latency_ns for record in self.records], dtype=np.float64)
 
-    def report(self, shard_results: Sequence[EngineResult]) -> "ServiceReport":
-        """Freeze the run into a :class:`ServiceReport`."""
+    def report(
+        self, shard_results: Sequence[EngineResult | Sequence[EngineResult]]
+    ) -> "ServiceReport":
+        """Freeze the run into a :class:`ServiceReport`.
+
+        ``shard_results`` holds, per shard, the per-replica
+        :class:`EngineResult` list; a bare :class:`EngineResult` is
+        accepted as a single-copy shard.
+        """
         if not self.records:
             raise ValueError("no completed queries to report on")
+        nested: list[list[EngineResult]] = [
+            [row] if isinstance(row, EngineResult) else list(row) for row in shard_results
+        ]
         latencies = self.latencies_ns()
         first_arrival = min(record.arrival_ns for record in self.records)
         last_finish = max(record.finish_ns for record in self.records)
         duration = max(last_finish - first_arrival, 1.0)
+
+        def active_fraction(result: EngineResult) -> float:
+            stats = result.device_stats
+            if stats.completed == 0:
+                return 0.0
+            active = stats.last_completion_ns - stats.first_submit_ns
+            return min(1.0, max(0.0, active / duration))
+
         return ServiceReport(
             completed=len(self.records),
             rejected=self.rejected,
@@ -107,9 +146,29 @@ class ServiceStats:
                 float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
             ),
             shard_iops=tuple(
-                result.device_stats.observed_iops() for result in shard_results
+                sum(result.device_stats.observed_iops() for result in row)
+                for row in nested
             ),
-            shard_io_counts=tuple(result.io_count for result in shard_results),
+            shard_io_counts=tuple(
+                sum(result.io_count for result in row) for row in nested
+            ),
+            replica_iops=tuple(
+                tuple(result.device_stats.observed_iops() for result in row)
+                for row in nested
+            ),
+            replica_io_counts=tuple(
+                tuple(result.io_count for result in row) for row in nested
+            ),
+            replica_active_fraction=tuple(
+                tuple(active_fraction(result) for result in row) for row in nested
+            ),
+            hedges_armed=self.hedges_armed,
+            hedges_cancelled=self.hedges_cancelled,
+            hedges_issued=self.hedges_issued,
+            hedge_wins=self.hedge_wins,
+            hedge_losses=self.hedge_losses,
+            hedge_losers_cancelled=self.hedge_losers_cancelled,
+            hedges_suppressed=self.hedges_suppressed,
         )
 
 
@@ -129,10 +188,27 @@ class ServiceReport:
     mean_queue_depth: float
     max_queue_depth: int
     mean_batch_size: float
-    #: Observed random-read IOPS per shard over its busy window.
+    #: Observed random-read IOPS per shard (summed over its replicas).
     shard_iops: tuple[float, ...]
-    #: I/O requests issued per shard.
+    #: I/O requests issued per shard (summed over its replicas).
     shard_io_counts: tuple[int, ...]
+    #: Observed IOPS per (shard, replica).
+    replica_iops: tuple[tuple[float, ...], ...] = ()
+    #: I/O requests issued per (shard, replica).
+    replica_io_counts: tuple[tuple[int, ...], ...] = ()
+    #: Active-window fraction of the run per (shard, replica): time from
+    #: the replica's first submitted read to its last completion, over
+    #: the run span.  A span metric, not device busy time — it shows
+    #: *when* a replica saw traffic (a bypassed replica reads ~0), not
+    #: how hard it worked (see ``replica_iops`` for that).
+    replica_active_fraction: tuple[tuple[float, ...], ...] = ()
+    hedges_armed: int = 0
+    hedges_cancelled: int = 0
+    hedges_issued: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
+    hedge_losers_cancelled: int = 0
+    hedges_suppressed: int = 0
 
     @property
     def offered(self) -> int:
@@ -143,6 +219,17 @@ class ServiceReport:
     def mean_ios_per_query(self) -> float:
         """Average I/Os a completed query cost across all shards."""
         return sum(self.shard_io_counts) / self.completed if self.completed else 0.0
+
+    @property
+    def n_replicas(self) -> int:
+        """Replication factor reflected in the per-replica columns."""
+        return max((len(row) for row in self.replica_io_counts), default=1)
+
+    @property
+    def hedge_fraction(self) -> float:
+        """Duplicates issued per admitted sub-query (IOPS overhead proxy)."""
+        subqueries = self.completed * max(1, len(self.shard_io_counts))
+        return self.hedges_issued / subqueries if subqueries else 0.0
 
     def describe(self) -> str:
         """Multi-line human-readable summary (CLI output)."""
@@ -159,4 +246,22 @@ class ServiceReport:
                 for i, (iops, count) in enumerate(zip(self.shard_iops, self.shard_io_counts))
             ),
         ]
+        if self.n_replicas > 1:
+            for i, (iops_row, active_row) in enumerate(
+                zip(self.replica_iops, self.replica_active_fraction)
+            ):
+                lines.append(
+                    f"shard #{i} replicas: "
+                    + ", ".join(
+                        f"r{j} {format_iops(iops)} (active {active:.0%})"
+                        for j, (iops, active) in enumerate(zip(iops_row, active_row))
+                    )
+                )
+        if self.hedges_armed:
+            lines.append(
+                f"hedges: armed {self.hedges_armed}, cancelled {self.hedges_cancelled}, "
+                f"issued {self.hedges_issued}, wins {self.hedge_wins}, "
+                f"losses {self.hedge_losses} "
+                f"({self.hedge_losers_cancelled} losers cancelled in queue)"
+            )
         return "\n".join(lines)

@@ -123,6 +123,34 @@ def test_plan_capacity_describe_mentions_shards():
     assert "utilization" in text
 
 
+def test_plan_capacity_replicas_cut_shards_and_grow_device_bill():
+    single = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0)
+    double = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0, replicas=2)
+    # R replicas multiply per-shard IOPS like R devices would...
+    assert double.required_shards == math.ceil(single.required_shards / 2)
+    assert double.per_shard_planned_iops == pytest.approx(
+        2 * single.per_shard_planned_iops
+    )
+    # ...and every planned shard is billed R device groups.
+    assert double.total_devices == double.required_shards * 2
+
+
+def test_plan_capacity_hedge_fraction_inflates_demand():
+    clean = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0)
+    hedged = plan_capacity(50.0, 50_000.0, 2e6, 273_000.0, hedge_fraction=0.25)
+    assert hedged.required_fleet_iops == pytest.approx(1.25 * clean.required_fleet_iops)
+    assert hedged.required_shards >= clean.required_shards
+    assert "hedge" in hedged.describe()
+    assert "hedge" not in clean.describe()
+
+
+def test_plan_capacity_replicated_defaults_match_single_copy():
+    base = plan_capacity(30.0, 10_000.0, 2e6, 273_000.0)
+    assert base.replicas == 1
+    assert base.hedge_fraction == 0.0
+    assert "replica" in base.describe()
+
+
 def test_plan_capacity_validation():
     with pytest.raises(ValueError):
         plan_capacity(-1.0, 10.0, 1e6, 1e5)
@@ -138,3 +166,7 @@ def test_plan_capacity_validation():
         plan_capacity(1.0, 10.0, 1e6, 1e5, utilization_cap=1.5)
     with pytest.raises(ValueError):
         plan_capacity(1.0, 10.0, 1e6, 1e5, latency_floor_ns=-1.0)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 1e5, replicas=0)
+    with pytest.raises(ValueError):
+        plan_capacity(1.0, 10.0, 1e6, 1e5, hedge_fraction=-0.1)

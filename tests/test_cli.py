@@ -82,9 +82,68 @@ def test_loadtest_closed_loop_table_scheme():
     assert "rejected 0" in text
 
 
+def test_loadtest_replicated_hedged_with_fault():
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--replicas", "2", "--routing", "hedged",
+        "--fault", "0:1:5", "--qps", "4000", "--requests", "48",
+    )
+    assert code == 0
+    assert "2 replica(s)" in text
+    assert "hedged" in text
+    assert "1 fault(s)" in text
+    assert "replicas" in text  # per-replica IOPS lines
+    assert "hedges" in text  # hedge ledger
+    assert "replica(s)" in text.rsplit("capacity plan", 1)[1]
+
+
+def test_loadtest_fault_with_stall_window_parses():
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--replicas", "2", "--routing", "least_outstanding",
+        "--fault", "0:0:2:1000:50", "--qps", "2000", "--requests", "16",
+    )
+    assert code == 0
+    assert "least_outstanding" in text
+
+
+def test_loadtest_rejects_malformed_fault():
+    with pytest.raises(SystemExit):
+        run_cli(
+            "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+            "--fault", "nonsense",
+        )
+    with pytest.raises(SystemExit):
+        run_cli(
+            "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+            "--fault", "0:zero:5",
+        )
+
+
+def test_loadtest_rejects_hedge_delay_without_hedged_routing():
+    with pytest.raises(SystemExit, match="hedged"):
+        run_cli(
+            "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+            "--replicas", "2", "--hedge-delay-us", "200",
+        )
+
+
+def test_loadtest_rejects_fault_outside_deployment():
+    with pytest.raises(SystemExit, match="deployment"):
+        run_cli(
+            "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+            "--shards", "2", "--replicas", "2", "--fault", "0:5:2",
+        )
+
+
 def test_loadtest_rejects_unknown_scheme():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["loadtest", "--scheme", "bogus"])
+
+
+def test_loadtest_rejects_unknown_routing():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["loadtest", "--routing", "bogus"])
 
 
 def test_parser_rejects_unknown_dataset():

@@ -10,7 +10,7 @@ from repro.core.radii import RadiusLadder
 from repro.storage.blockstore import MemoryBlockStore
 from repro.storage.engine import AsyncIOEngine
 from repro.storage.page_cache import PageCache
-from repro.storage.profiles import INTERFACE_PROFILES, make_engine, make_volume
+from repro.storage.profiles import INTERFACE_PROFILES, make_volume
 
 
 @pytest.fixture(scope="module")

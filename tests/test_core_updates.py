@@ -100,8 +100,8 @@ def test_occupancy_filter_stays_exact_after_insert(setup):
     projections = built.bank.project(novel[None, :])
     for rung_index, radius in enumerate(built.ladder):
         hash_values = built.bank.mix32(built.bank.codes_for_radius(projections, radius))
-        for l in (0, built.params.L - 1):
-            assert built.tables[rung_index][l].contains(int(hash_values[0, l]))
+        for table_index in (0, built.params.L - 1):
+            assert built.tables[rung_index][table_index].contains(int(hash_values[0, table_index]))
 
 
 def test_insert_rejects_bad_shapes(setup):

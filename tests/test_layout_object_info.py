@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.layout.object_info import (
-    HASH_VALUE_BITS,
     OBJECT_INFO_SIZE,
     ObjectInfoCodec,
     default_table_bits,

@@ -1,4 +1,4 @@
-"""Tests for repro.serving.dispatcher."""
+"""Tests for repro.serving.dispatcher (replica lanes, batching, hedging)."""
 
 import math
 
@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.params import E2LSHParams
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.replication import FaultSpec, RoutingConfig
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import ServiceStats
 
@@ -18,16 +19,47 @@ def sharded():
     return ShardedIndex.build(data, E2LSHParams(n=240), n_shards=2, scheme="hash", seed=5)
 
 
+@pytest.fixture(scope="module")
+def replicated():
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((240, 12)).astype(np.float32)
+    return ShardedIndex.build(
+        data,
+        E2LSHParams(n=240),
+        n_shards=2,
+        scheme="hash",
+        seed=5,
+        replicas=2,
+        faults=(FaultSpec(shard=0, replica=1, latency_multiplier=4.0),),
+    )
+
+
 @pytest.fixture()
 def query():
     return np.zeros(12, dtype=np.float32)
 
 
-def make_dispatcher(sharded, **kwargs):
+def make_dispatcher(sharded, routing=None, **kwargs):
     stats = ServiceStats()
-    sessions = [shard.engine.session() for shard in sharded.shards]
-    dispatcher = Dispatcher(sharded, sessions, DispatchConfig(**kwargs), stats)
+    sessions = [group.sessions() for group in sharded.replica_groups]
+    dispatcher = Dispatcher(
+        sharded, sessions, DispatchConfig(**kwargs), stats, routing=routing
+    )
     return dispatcher, sessions, stats
+
+
+def drain_completions(dispatcher, sessions):
+    """Flush everything, run every session dry, feed completions back."""
+    dispatcher.flush_due(math.inf)
+    answers = []
+    for shard_id, row in enumerate(sessions):
+        for replica, session in enumerate(row):
+            for completion in session.drain():
+                answers.append(dispatcher.subquery_done(shard_id, replica, completion))
+    return answers
+
+
+# -- micro-batch triggers ----------------------------------------------------
 
 
 def test_size_trigger_flushes_full_batch(sharded, query):
@@ -35,7 +67,7 @@ def test_size_trigger_flushes_full_batch(sharded, query):
     for i in range(3):
         assert dispatcher.admit(100.0, i, query, k=2)
     assert not dispatcher.has_pending  # batch released on the 3rd admit
-    assert all(s.has_work for s in sessions)
+    assert all(s.has_work for row in sessions for s in row)
     assert stats.batch_sizes == [3, 3]  # one flush per shard lane
 
 
@@ -48,7 +80,7 @@ def test_time_trigger_deadline(sharded, query):
     assert dispatcher.has_pending
     dispatcher.flush_due(1500.0)
     assert not dispatcher.has_pending
-    assert all(s.has_work for s in sessions)
+    assert all(s.has_work for row in sessions for s in row)
 
 
 def test_deadline_set_by_oldest_entry(sharded, query):
@@ -61,17 +93,40 @@ def test_deadline_set_by_oldest_entry(sharded, query):
 def test_no_pending_means_no_deadline(sharded):
     dispatcher, _, _ = make_dispatcher(sharded)
     assert math.isinf(dispatcher.next_flush_ns)
+    assert math.isinf(dispatcher.next_hedge_ns)
+
+
+# -- bounded admission -------------------------------------------------------
 
 
 def test_bounded_admission_rejects_and_recovers(sharded, query):
-    dispatcher, _, stats = make_dispatcher(sharded, max_batch=100, queue_capacity=2)
+    dispatcher, sessions, stats = make_dispatcher(sharded, max_batch=100, queue_capacity=2)
     assert dispatcher.admit(0.0, 0, query, k=2)
     assert dispatcher.admit(0.0, 1, query, k=2)
     assert not dispatcher.admit(0.0, 2, query, k=2)  # both lanes full
     assert stats.rejected == 1
-    dispatcher.subquery_done(0)
-    dispatcher.subquery_done(1)
+    drain_completions(dispatcher, sessions)
     assert dispatcher.admit(0.0, 3, query, k=2)
+
+
+def test_bounded_queue_rejects_burst_arrivals(sharded, query):
+    """A same-instant burst sheds exactly the overflow, keeps the rest."""
+    dispatcher, _, stats = make_dispatcher(sharded, max_batch=100, queue_capacity=8)
+    admitted = sum(dispatcher.admit(0.0, i, query, k=2) for i in range(20))
+    assert admitted == 8
+    assert stats.rejected == 12
+    # Every lane is exactly full, none above capacity.
+    for row in dispatcher._lanes:
+        for lane in row:
+            assert lane.outstanding == 8
+
+
+def test_burst_rejection_spreads_over_replicas(replicated, query):
+    """With R=2 a burst fits 2x the sub-queries before shedding."""
+    dispatcher, _, stats = make_dispatcher(replicated, max_batch=100, queue_capacity=8)
+    admitted = sum(dispatcher.admit(0.0, i, query, k=2) for i in range(20))
+    assert admitted == 16  # R=2 doubles the admission headroom
+    assert stats.rejected == 4
 
 
 def test_outstanding_counts_in_flight_not_just_queued(sharded, query):
@@ -91,13 +146,31 @@ def test_queue_depth_sampled_per_admit(sharded, query):
     assert stats.queue_depth_samples == [1, 1, 2, 2]  # two lanes, two admits
 
 
+# -- completions -------------------------------------------------------------
+
+
+def test_every_completion_returns_an_answer_without_hedging(sharded, query):
+    dispatcher, sessions, _ = make_dispatcher(sharded, max_batch=100)
+    dispatcher.admit(0.0, 0, query, k=2)
+    dispatcher.admit(0.0, 1, query, k=2)
+    answers = drain_completions(dispatcher, sessions)
+    assert len(answers) == 4  # 2 queries x 2 shards
+    assert all(answer is not None for answer in answers)
+
+
 def test_subquery_done_underflow_raises(sharded):
-    dispatcher, _, _ = make_dispatcher(sharded)
+    dispatcher, sessions, _ = make_dispatcher(sharded)
+
+    class FakeCompletion:
+        tag = 0
+        result = None
+        finish_ns = 0.0
+
     with pytest.raises(RuntimeError):
-        dispatcher.subquery_done(0)
+        dispatcher.subquery_done(0, 0, FakeCompletion())
 
 
-def test_session_count_must_match_shards(sharded):
+def test_session_shape_must_match_replicas(sharded, replicated):
     with pytest.raises(ValueError):
         Dispatcher(
             sharded,
@@ -105,6 +178,144 @@ def test_session_count_must_match_shards(sharded):
             DispatchConfig(),
             ServiceStats(),
         )
+    with pytest.raises(ValueError):
+        # Replicated index, single-copy session rows.
+        Dispatcher(
+            replicated,
+            [group.engines[0].session() for group in replicated.replica_groups],
+            DispatchConfig(),
+            ServiceStats(),
+        )
+
+
+def test_flat_session_list_accepted_for_single_copy(sharded, query):
+    stats = ServiceStats()
+    sessions = [shard.engine.session() for shard in sharded.shards]
+    dispatcher = Dispatcher(sharded, sessions, DispatchConfig(max_batch=1), stats)
+    assert dispatcher.admit(0.0, 0, query, k=2)
+    assert all(session.has_work for session in sessions)
+
+
+# -- hedging -----------------------------------------------------------------
+
+
+def hedged_dispatcher(replicated, delay_ns=1000.0, **kwargs):
+    routing = RoutingConfig(policy="hedged", hedge_delay_ns=delay_ns)
+    return make_dispatcher(replicated, routing=routing, **kwargs)
+
+
+def test_hedge_timer_armed_at_admission(replicated, query):
+    dispatcher, _, stats = hedged_dispatcher(replicated, max_batch=100)
+    dispatcher.admit(100.0, 0, query, k=2)
+    assert stats.hedges_armed == 2  # one per shard
+    assert dispatcher.next_hedge_ns == pytest.approx(1100.0)
+
+
+def test_hedge_timer_cancelled_when_primary_completes_first(replicated, query):
+    """Satellite: primary answers before the deadline -> timer disarmed."""
+    dispatcher, sessions, stats = hedged_dispatcher(replicated, delay_ns=1e12, max_batch=1)
+    dispatcher.admit(0.0, 0, query, k=2)
+    for shard_id, row in enumerate(sessions):
+        for replica, session in enumerate(row):
+            for completion in session.drain():
+                assert dispatcher.subquery_done(shard_id, replica, completion) is not None
+    assert stats.hedges_cancelled == 2
+    assert stats.hedges_issued == 0
+    # The heap is pruned: no stale timers left to fire.
+    assert math.isinf(dispatcher.next_hedge_ns)
+    dispatcher.fire_hedges(2e12)
+    assert stats.hedges_issued == 0
+
+
+def test_hedge_fires_and_duplicate_goes_to_other_replica(replicated, query):
+    dispatcher, _, stats = hedged_dispatcher(replicated, delay_ns=500.0, max_batch=100)
+    dispatcher.admit(0.0, 0, query, k=2)
+    dispatcher.fire_hedges(500.0)
+    assert stats.hedges_issued == 2
+    # Each shard now has the original plus the duplicate queued, on
+    # different replica lanes.
+    for row in dispatcher._lanes:
+        occupied = [lane.outstanding for lane in row]
+        assert sorted(occupied) == [1, 1]
+
+
+def test_loser_cancellation_preserves_younger_entries_deadline(replicated, query):
+    """Cancelling the oldest queued entry must not shorten the batching
+    window of the entries behind it."""
+    dispatcher, _, stats = hedged_dispatcher(
+        replicated, delay_ns=100.0, max_batch=100, max_delay_ns=500.0
+    )
+    dispatcher.admit(0.0, 0, query, k=2)  # primaries queue at t=0
+    dispatcher.fire_hedges(100.0)  # duplicates join *other* lanes at t=100
+    assert stats.hedges_issued == 2
+    # Each duplicate heads its lane; cancel it by hand and make sure the
+    # lane deadline is gone with it, not frozen at the duplicate's time.
+    for shard_id, row in enumerate(dispatcher._lanes):
+        for replica, lane in enumerate(row):
+            if lane.pending and lane.pending[0][2] == 100.0:
+                assert dispatcher._cancel_queued(shard_id, replica, 0)
+                assert lane.deadline_ns == math.inf  # no stale deadline
+    # Primaries still flush on their own t=0 + 500 deadline.
+    assert dispatcher.next_flush_ns == pytest.approx(500.0)
+
+
+def test_hedge_loser_cancelled_while_still_queued(replicated, query):
+    """Primary completes while the duplicate waits in its lane: the
+    duplicate is dropped before costing any device I/O."""
+    dispatcher, sessions, stats = hedged_dispatcher(replicated, delay_ns=500.0, max_batch=100)
+    dispatcher.admit(0.0, 0, query, k=2)
+    dispatcher.flush_due(math.inf)  # primaries reach their engines...
+    dispatcher.fire_hedges(500.0)  # ...duplicates stay queued (size 1 < 100)
+    assert stats.hedges_issued == 2
+    answers = 0
+    for shard_id, row in enumerate(sessions):
+        for replica, session in enumerate(row):
+            for completion in session.drain():
+                if dispatcher.subquery_done(shard_id, replica, completion) is not None:
+                    answers += 1
+    assert answers == 2
+    assert stats.hedge_losses == 2
+    assert stats.hedge_losers_cancelled == 2
+    assert not dispatcher.has_pending  # cancelled copies left no residue
+
+
+def test_shed_admissions_do_not_skew_round_robin(replicated, query):
+    """A query shed because one shard is full must leave every cursor
+    in place: the next admitted query still alternates replicas."""
+    dispatcher, _, stats = make_dispatcher(
+        replicated, routing=RoutingConfig(policy="round_robin"),
+        max_batch=100, queue_capacity=2,
+    )
+    # Fill shard 1's lanes completely (shard 0 keeps headroom: its
+    # lanes also fill — capacity 2 x 2 replicas = 4 admits fit).
+    for i in range(4):
+        assert dispatcher.admit(0.0, i, query, k=2)
+    assert not dispatcher.admit(0.0, 4, query, k=2)  # shed: all full
+    assert stats.rejected == 1
+    # Admitted sub-queries alternated replicas on every shard despite
+    # the shed probe in between.
+    for row in dispatcher._lanes:
+        assert [lane.outstanding for lane in row] == [2, 2]
+
+
+def test_hedged_single_copy_never_arms_timers(sharded, query):
+    """R=1 has nowhere to hedge to: the ledger must stay silent rather
+    than fill up with suppressed timers."""
+    dispatcher, _, stats = make_dispatcher(
+        sharded, routing=RoutingConfig(policy="hedged", hedge_delay_ns=100.0),
+        max_batch=100,
+    )
+    dispatcher.admit(0.0, 0, query, k=2)
+    assert stats.hedges_armed == 0
+    assert math.isinf(dispatcher.next_hedge_ns)
+
+
+def test_adaptive_hedging_stays_quiet_until_warm(replicated, query):
+    routing = RoutingConfig(policy="hedged", hedge_min_observations=4)
+    dispatcher, _, stats = make_dispatcher(replicated, routing=routing, max_batch=100)
+    dispatcher.admit(0.0, 0, query, k=2)
+    assert stats.hedges_armed == 0  # no observations yet -> no delay anchor
+    assert math.isinf(dispatcher.next_hedge_ns)
 
 
 def test_config_validation():

@@ -6,6 +6,7 @@ import pytest
 from repro.core.params import E2LSHParams
 from repro.serving.dispatcher import DispatchConfig
 from repro.serving.loadgen import ClosedLoopWorkload, OpenLoopWorkload
+from repro.serving.replication import FaultSpec, RoutingConfig
 from repro.serving.service import QueryService
 from repro.serving.sharding import ShardedIndex
 
@@ -150,3 +151,88 @@ def test_zipf_reuse_repeats_pool_queries(sharded, dataset):
     )
     picks = [record.pool_index for record in service.stats.records]
     assert len(set(picks)) < len(picks)  # reuse happened
+
+
+# -- replication -------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def replicated(dataset):
+    data, _ = dataset
+    return ShardedIndex.build(
+        data,
+        E2LSHParams(n=300),
+        n_shards=2,
+        scheme="hash",
+        seed=13,
+        replicas=2,
+        faults=(FaultSpec(shard=0, replica=1, latency_multiplier=4.0),),
+    )
+
+
+@pytest.mark.parametrize("policy", ["round_robin", "least_outstanding", "hedged"])
+def test_replicated_answers_match_single_copy(sharded, replicated, dataset, policy):
+    """Routing and hedging change *when* queries finish, never *what*
+    they answer — even with a degraded replica in the group."""
+    _, pool = dataset
+    workload = open_workload(n_queries=24)
+    single = QueryService(sharded)
+    single.run_open_loop(pool, workload, k=K)
+    replica = QueryService(replicated, routing=RoutingConfig(policy=policy))
+    report = replica.run_open_loop(pool, workload, k=K)
+    assert report.completed == 24
+    assert sorted(replica.answers) == sorted(single.answers)
+    for query_id, expected in single.answers.items():
+        served = replica.answers[query_id]
+        assert np.array_equal(served.ids, expected.ids)
+        assert np.array_equal(served.distances, expected.distances)
+
+
+def test_replicated_service_is_deterministic(replicated, dataset):
+    _, pool = dataset
+    routing = RoutingConfig(policy="hedged")
+    a = QueryService(replicated, routing=routing).run_open_loop(
+        pool, open_workload(), k=K
+    )
+    b = QueryService(replicated, routing=routing).run_open_loop(
+        pool, open_workload(), k=K
+    )
+    assert a == b
+
+
+def test_replicated_report_carries_per_replica_columns(replicated, dataset):
+    _, pool = dataset
+    service = QueryService(replicated)
+    report = service.run_open_loop(pool, open_workload(), k=K)
+    assert report.n_replicas == 2
+    assert all(len(row) == 2 for row in report.replica_io_counts)
+    assert sum(report.shard_io_counts) == sum(
+        count for row in report.replica_io_counts for count in row
+    )
+    # Round-robin spreads sub-queries over both replicas of every shard.
+    assert all(min(row) > 0 for row in report.replica_io_counts)
+
+
+def test_hedged_service_reports_hedge_ledger(replicated, dataset):
+    _, pool = dataset
+    service = QueryService(
+        replicated, routing=RoutingConfig(policy="hedged", hedge_min_observations=4)
+    )
+    report = service.run_open_loop(pool, open_workload(n_queries=60), k=K)
+    assert report.completed == 60
+    assert report.hedges_armed > 0
+    # Every armed timer is accounted for: cancelled, issued, or suppressed.
+    assert (
+        report.hedges_cancelled + report.hedges_issued + report.hedges_suppressed
+        == report.hedges_armed
+    )
+    assert report.hedge_wins + report.hedge_losses == report.hedges_issued
+
+
+def test_closed_loop_works_with_replicas(replicated, dataset):
+    _, pool = dataset
+    service = QueryService(replicated, routing=RoutingConfig(policy="least_outstanding"))
+    workload = ClosedLoopWorkload(concurrency=8, n_queries=30, seed=3)
+    report = service.run_closed_loop(pool, workload, k=K)
+    assert report.completed == 30
+    assert sorted(service.answers) == list(range(30))

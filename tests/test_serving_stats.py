@@ -116,3 +116,53 @@ def test_latency_is_finish_minus_arrival():
     stats = ServiceStats()
     stats.record_completion(0, 0, arrival_ns=5e6, finish_ns=7e6)
     assert stats.records[0].latency_ns == pytest.approx(2e6)
+
+
+# -- per-replica reporting ---------------------------------------------------
+
+
+def test_report_accepts_per_replica_rows_and_sums_per_shard():
+    stats = filled_stats([1.0, 2.0])
+    report = stats.report(
+        [
+            [engine_result(io_count=10), engine_result(io_count=30)],
+            [engine_result(io_count=5)],
+        ]
+    )
+    assert report.shard_io_counts == (40, 5)
+    assert report.replica_io_counts == ((10, 30), (5,))
+    assert report.n_replicas == 2
+    assert len(report.replica_iops) == 2
+    assert "replicas" in report.describe()
+
+
+def test_report_flat_results_stay_single_copy():
+    report = filled_stats([1.0]).report([engine_result(io_count=7)])
+    assert report.replica_io_counts == ((7,),)
+    assert report.n_replicas == 1
+    assert "replicas" not in report.describe()
+
+
+def test_hedge_counters_flow_into_report_and_describe():
+    stats = filled_stats([1.0, 2.0])
+    stats.hedges_armed = 8
+    stats.hedges_cancelled = 5
+    stats.hedges_issued = 3
+    stats.hedge_wins = 2
+    stats.hedge_losses = 1
+    stats.hedge_losers_cancelled = 1
+    report = stats.report([engine_result()])
+    assert (report.hedges_armed, report.hedges_issued) == (8, 3)
+    assert (report.hedge_wins, report.hedge_losses) == (2, 1)
+    # 2 completed x 1 shard -> 2 sub-queries, 3 duplicates issued.
+    assert report.hedge_fraction == pytest.approx(1.5)
+    text = report.describe()
+    assert "hedges" in text
+    assert "wins 2" in text
+
+
+def test_hedge_free_run_reports_quiet_ledger():
+    report = filled_stats([1.0]).report([engine_result()])
+    assert report.hedges_armed == 0
+    assert report.hedge_fraction == 0.0
+    assert "hedges" not in report.describe()

@@ -6,7 +6,6 @@ import pytest
 
 from repro.storage.blockstore import MemoryBlockStore
 from repro.storage.engine import AsyncIOEngine, Compute, EngineSession, Read, ReadBatch
-from repro.storage.interface import StorageInterface
 from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
 from repro.storage.raid import StripedVolume
 
