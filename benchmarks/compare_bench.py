@@ -1,0 +1,157 @@
+"""Diff a fresh REPRO_BENCH_ARTIFACT run against the committed baseline.
+
+The committed ``BENCH_serving.json`` is the perf trajectory: each
+serving benchmark row carries ``wall_events_per_sec`` — how fast the
+simulator's own event loop ran, the figure that decides how much
+workload a CI run (or a laptop) can afford to simulate.  This script
+compares a fresh artifact row-by-row against the baseline and fails if
+any row's simulator throughput regressed by more than the tolerance
+(default 20%, generous enough to ride out shared-runner noise).
+
+Simulated-domain figures (saturation QPS, p99) are reported as
+informational drift only: they are deterministic for a given seed, so
+any change there is a behavior change, not a perf regression — the
+benchmark asserts guard those.
+
+Usage::
+
+    REPRO_BENCH_ARTIFACT=BENCH_fresh.json python -m pytest \
+        benchmarks/test_serving_shards.py benchmarks/test_serving_replicas.py -q
+    python benchmarks/compare_bench.py BENCH_serving.json BENCH_fresh.json
+
+    # refresh the committed baseline after an intentional perf change
+    python benchmarks/compare_bench.py BENCH_serving.json BENCH_fresh.json \
+        --write-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import sys
+from pathlib import Path
+
+SCHEMA = "repro-serving-bench/1"
+#: Allowed wall-clock slowdown before the comparison fails.
+DEFAULT_TOLERANCE = 0.20
+#: Fields identifying a row within each benchmark's result list.
+ROW_KEYS = {
+    "serving_shards": ("n_shards", "scheme"),
+    "serving_replicas": ("label", "policy"),
+}
+
+
+def _load(path: str) -> dict:
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"error: {path} is not a {SCHEMA} artifact "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return payload
+
+
+def _row_label(bench: str, row: dict) -> str:
+    keys = ROW_KEYS.get(bench)
+    if keys and all(k in row for k in keys):
+        return f"{bench}[" + ", ".join(str(row[k]) for k in keys) + "]"
+    return bench
+
+
+def _match_rows(bench: str, baseline: list, fresh: list) -> list[tuple[str, dict, dict]]:
+    keys = ROW_KEYS.get(bench)
+    if keys is None:
+        return [
+            (_row_label(bench, b), b, f)
+            for b, f in zip(baseline, fresh)
+        ]
+    fresh_by_key = {tuple(row.get(k) for k in keys): row for row in fresh}
+    matched = []
+    for row in baseline:
+        other = fresh_by_key.get(tuple(row.get(k) for k in keys))
+        if other is not None:
+            matched.append((_row_label(bench, row), row, other))
+    return matched
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float, out=sys.stdout) -> int:
+    """Print the comparison; return the number of regressed rows."""
+    if baseline.get("scale") != fresh.get("scale"):
+        out.write(
+            f"warning: scale mismatch (baseline {baseline.get('scale')!r}, "
+            f"fresh {fresh.get('scale')!r}) -- wall-clock comparison skipped\n"
+        )
+        return 0
+    regressions = 0
+    compared = 0
+    for bench, base_rows in sorted(baseline.get("results", {}).items()):
+        fresh_rows = fresh.get("results", {}).get(bench)
+        if fresh_rows is None:
+            out.write(f"warning: {bench} missing from fresh artifact\n")
+            continue
+        for label, base, new in _match_rows(bench, base_rows, fresh_rows):
+            base_rate = base.get("wall_events_per_sec", 0.0)
+            new_rate = new.get("wall_events_per_sec", 0.0)
+            if base_rate <= 0:
+                continue  # baseline predates the self-profile fields
+            compared += 1
+            change = new_rate / base_rate - 1.0
+            floor = base_rate * (1.0 - tolerance)
+            verdict = "ok" if new_rate >= floor else "REGRESSED"
+            if verdict != "ok":
+                regressions += 1
+            out.write(
+                f"{verdict:>9s} {label}: {base_rate:,.0f} -> {new_rate:,.0f} "
+                f"events/s ({change:+.1%}, floor {floor:,.0f})\n"
+            )
+            if "qps" in base and "qps" in new and base["qps"]:
+                drift = new["qps"] / base["qps"] - 1.0
+                if abs(drift) > 1e-9:
+                    out.write(
+                        f"{'note':>9s} {label}: simulated qps drifted "
+                        f"{drift:+.1%} ({base['qps']:,.0f} -> {new['qps']:,.0f}) "
+                        "-- deterministic figure, investigate the behavior change\n"
+                    )
+    if compared == 0:
+        out.write("warning: no comparable rows (baseline has no wall figures)\n")
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_serving.json")
+    parser.add_argument("fresh", help="artifact from the current run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional wall-clock slowdown (default 0.20)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="copy the fresh artifact over the baseline after comparing",
+    )
+    args = parser.parse_args(argv)
+    if not Path(args.baseline).exists():
+        if args.write_baseline:
+            shutil.copyfile(args.fresh, args.baseline)
+            print(f"no baseline at {args.baseline}; seeded it from {args.fresh}")
+            return 0
+        raise SystemExit(f"error: no baseline at {args.baseline}")
+    regressions = compare(_load(args.baseline), _load(args.fresh), args.tolerance)
+    if args.write_baseline:
+        shutil.copyfile(args.fresh, args.baseline)
+        print(f"baseline {args.baseline} refreshed from {args.fresh}")
+        return 0
+    if regressions:
+        print(f"FAIL: {regressions} row(s) regressed beyond the tolerance")
+        return 1
+    print("simulator throughput within tolerance of the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ store them).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -32,6 +33,8 @@ from repro.datasets.registry import DATASET_NAMES, DATASET_SPECS, load_dataset
 from repro.eval.ground_truth import exact_knn
 from repro.eval.ratio import overall_ratio
 from repro.io.persistence import load_index, save_index
+from repro.obs.report import load_trace, render_report
+from repro.obs.trace import SpanTracer
 from repro.serving.dispatcher import DispatchConfig
 from repro.serving.loadgen import ClosedLoopWorkload, OpenLoopWorkload
 from repro.serving.replication import ROUTING_POLICIES, FaultSpec, RoutingConfig
@@ -140,6 +143,36 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument(
         "--target-p99-ms", type=float, default=2.0, help="SLO for the capacity plan"
     )
+    loadtest.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record per-query spans and write a Chrome trace_event JSON "
+        "(open in Perfetto, or feed to 'repro report')",
+    )
+    loadtest.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the metrics registry, sampled timeline, and simulator "
+        "self-profile as JSON",
+    )
+    loadtest.add_argument(
+        "--metrics-interval-us",
+        type=float,
+        default=100.0,
+        help="simulated-time sampling period of the metrics timeline",
+    )
+
+    report = sub.add_parser(
+        "report", help="render a recorded trace: span waterfall + tail attribution"
+    )
+    report.add_argument("trace", help="trace file from 'loadtest --trace'")
+    report.add_argument(
+        "--pct", type=float, default=99.0, help="tail percentile threshold"
+    )
+    report.add_argument("--top", type=int, default=5, help="tail queries to list")
+    report.add_argument("--width", type=int, default=64, help="waterfall width (chars)")
     return parser
 
 
@@ -287,6 +320,7 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         replicas=args.replicas,
         faults=faults,
     )
+    tracer = SpanTracer() if args.trace else None
     service = QueryService(
         sharded,
         dispatch=DispatchConfig(
@@ -296,6 +330,10 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         ),
         routing=RoutingConfig(policy=args.routing, hedge_delay_ns=hedge_delay_ns),
         workers_per_shard=args.workers,
+        tracer=tracer,
+        metrics_interval_ns=(
+            args.metrics_interval_us * NS_PER_US if args.metrics_out else None
+        ),
     )
     if args.mode == "open":
         workload = OpenLoopWorkload(
@@ -323,6 +361,25 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         f"({args.interface}), {offered}{faulty}\n"
     )
     out.write(report.describe() + "\n")
+    profile = service.loop_profile
+    out.write(
+        f"simulator: {profile.events_total:,} loop events in "
+        f"{profile.wall_seconds:.2f} s wall "
+        f"({profile.events_per_sec:,.0f} events/s)\n"
+    )
+    if tracer is not None:
+        tracer.write(args.trace)
+        out.write(
+            f"trace: {len(tracer.completed_spans())} query spans -> {args.trace}\n"
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(service.metrics_snapshot(), handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        out.write(f"metrics -> {args.metrics_out}\n")
+    if report.completed == 0:
+        out.write("capacity plan: skipped (no completed queries)\n")
+        return 0
     # Plan for the offered rate (open loop) or the rate the fleet proved
     # it can sustain (closed loop).  The fastest observed query is the
     # closest available proxy for the light-load latency floor — unlike
@@ -343,6 +400,16 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    try:
+        spans = load_trace(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        out.write(f"error: {error}\n")
+        return 1
+    out.write(render_report(spans, pct=args.pct, top=args.top, width=args.width) + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -357,6 +424,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "loadtest":
         return _cmd_loadtest(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

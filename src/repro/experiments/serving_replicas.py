@@ -80,6 +80,10 @@ class ReplicaRow:
     ratio: float
     #: Answers bit-identical to the single-copy deployment's.
     answers_match_single: bool
+    #: Simulator self-profile: loop events processed and their wall-clock
+    #: rate — the perf trajectory ``benchmarks/compare_bench.py`` tracks.
+    loop_events: int = 0
+    wall_events_per_sec: float = 0.0
 
 
 def _collect_answers(service: QueryService) -> dict[int, tuple[np.ndarray, np.ndarray]]:
@@ -163,6 +167,8 @@ def run(scale: ExperimentScale, dataset_name: str) -> list[ReplicaRow]:
             hedge_losses=report.hedge_losses,
             ratio=ratio,
             answers_match_single=False,  # filled in below
+            loop_events=service.loop_profile.events_total,
+            wall_events_per_sec=service.loop_profile.events_per_sec,
         )
         return row, _collect_answers(service)
 

@@ -49,6 +49,10 @@ class ServingRow:
     p99_ns: float
     ios_per_query: float
     ratio: float
+    #: Simulator self-profile: loop events processed and their wall-clock
+    #: rate — the perf trajectory ``benchmarks/compare_bench.py`` tracks.
+    loop_events: int = 0
+    wall_events_per_sec: float = 0.0
 
 
 def run(
@@ -90,6 +94,8 @@ def run(
                 p99_ns=report.p99_ns,
                 ios_per_query=report.mean_ios_per_query,
                 ratio=ratio,
+                loop_events=service.loop_profile.events_total,
+                wall_events_per_sec=service.loop_profile.events_per_sec,
             )
         )
     return rows

@@ -1,0 +1,205 @@
+"""Counters, gauges, fixed-bucket histograms, and a timeline sampler.
+
+A deliberately small registry in the Prometheus mold: named metrics,
+created on first use, snapshottable as plain dicts.  Histograms use
+*fixed* bucket bounds chosen up front — sampling into fixed buckets is
+O(log buckets) per observation and the export is shape-stable across
+runs, which is what a diffable perf artifact needs (contrast the exact
+nearest-rank percentiles in :mod:`repro.serving.stats`, which keep
+every sample).
+
+:class:`Timeline` samples a run *in simulated time*: the service loop
+calls :meth:`Timeline.advance` with the next event's timestamp and the
+sampler emits one row per elapsed interval (in-flight queries, lane
+depths, per-replica outstanding I/O, hedge rates, ...).  Sampling on
+the simulated clock keeps the timeline deterministic for a given seed
+and makes mid-run degradation — a fault storm, a flash crowd — visible
+where an end-of-run aggregate would average it away.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Callable, Sequence
+from typing import Any
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Timeline",
+    "LATENCY_BUCKETS_NS",
+]
+
+#: Default latency histogram bounds: 50 us .. 100 ms, roughly 1-2-5.
+LATENCY_BUCKETS_NS: tuple[float, ...] = (
+    50e3,
+    100e3,
+    200e3,
+    500e3,
+    1e6,
+    2e6,
+    5e6,
+    10e6,
+    20e6,
+    50e6,
+    100e6,
+)
+
+
+class Counter:
+    """Monotonic count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Point-in-time value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow.
+
+    ``bounds`` are inclusive upper bounds in ascending order; a sample
+    lands in the first bucket whose bound is >= the sample, or in the
+    implicit +inf overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum")
+
+    def __init__(self, bounds: Sequence[float]) -> None:
+        ordered = tuple(float(b) for b in bounds)
+        if not ordered:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(ordered, ordered[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {ordered}")
+        self.bounds = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        A bucketed approximation (reports +inf for overflow samples) —
+        use :func:`repro.serving.stats.percentile` for exact SLOs.
+        """
+        if not 0 < q <= 1:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.total == 0:
+            raise ValueError("no samples to take a quantile of")
+        rank = q * self.total
+        seen = 0
+        for bound, count in zip(self.bounds, self.counts):
+            seen += count
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "total": self.total,
+            "sum": self.sum,
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshottable."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, factory: Callable[[], Any]) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory()
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(name, Counter, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(name, Gauge, Gauge)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_NS
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (bounds fixed at creation)."""
+        return self._get(name, Histogram, lambda: Histogram(bounds))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """All metrics as plain dicts, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in sorted(self._metrics)}
+
+
+class Timeline:
+    """Periodic sampling of run state on the simulated clock.
+
+    The driver calls :meth:`advance` with the timestamp of the event it
+    is *about to* process; the timeline emits one sample per elapsed
+    ``interval_ns``, each stamped with the exact (deterministic) due
+    time and filled by ``sample_fn(t_ns)`` — so every sample reflects
+    the state as of the last event *before* its due time.
+    """
+
+    def __init__(self, interval_ns: float) -> None:
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+        self.interval_ns = interval_ns
+        self.samples: list[dict[str, Any]] = []
+        self._next_due_ns = interval_ns
+
+    def advance(
+        self, now_ns: float, sample_fn: Callable[[float], dict[str, Any]]
+    ) -> None:
+        """Emit every sample due at or before ``now_ns``."""
+        while self._next_due_ns <= now_ns:
+            row = {"t_ns": self._next_due_ns}
+            row.update(sample_fn(self._next_due_ns))
+            self.samples.append(row)
+            self._next_due_ns += self.interval_ns
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"interval_ns": self.interval_ns, "samples": self.samples}

@@ -1,0 +1,154 @@
+"""Render an exported trace: span waterfall + tail attribution.
+
+This is the analysis half of the tracer: ``repro loadtest --trace
+t.json`` writes the trace, ``repro report t.json`` answers "where did
+the p99 spend its time" — the per-query time-budget argument PLSH and
+QALSH make for their scaling claims, applied to our own serving stack.
+
+Works on the structured ``spans`` payload the tracer embeds in its
+Chrome-trace export (a bare spans payload is accepted too), so the same
+file drives both Perfetto and this module.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.serving.stats import percentile
+from repro.utils.units import format_time
+
+__all__ = ["load_trace", "tail_attribution", "waterfall", "render_report"]
+
+#: Attribution components, in waterfall order.
+COMPONENTS = ("batch_ns", "queue_ns", "hash_ns", "io_ns", "hedge_ns", "other_ns")
+_LABELS = {
+    "batch_ns": "batch",
+    "queue_ns": "queue",
+    "hash_ns": "hash",
+    "io_ns": "io",
+    "hedge_ns": "hedge",
+    "other_ns": "other",
+}
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    """Read a trace file and return its structured spans payload."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    spans = payload.get("spans", payload)
+    if "queries" not in spans:
+        raise ValueError(
+            f"{path} is not a repro trace (no 'spans.queries'); "
+            "export one with 'repro loadtest --trace'"
+        )
+    return spans
+
+
+def _tail_queries(spans: dict[str, Any], pct: float, top: int) -> list[dict[str, Any]]:
+    queries = spans["queries"]
+    if not queries:
+        return []
+    threshold = percentile([q["latency_ns"] for q in queries], pct)
+    tail = [q for q in queries if q["latency_ns"] >= threshold]
+    tail.sort(key=lambda q: (-q["latency_ns"], q["query_id"]))
+    return tail[:top]
+
+
+def tail_attribution(spans: dict[str, Any], pct: float = 99.0, top: int = 5) -> str:
+    """Table: latency breakdown of the slowest (>= p``pct``) queries."""
+    tail = _tail_queries(spans, pct, top)
+    if not tail:
+        return "no completed queries in trace"
+    header = (
+        f"{'query':>7s} {'latency':>10s} "
+        + " ".join(f"{_LABELS[c]:>10s}" for c in COMPONENTS)
+        + f" {'tail shard':>10s}"
+    )
+    lines = [f"tail attribution (queries at or above p{pct:g}, slowest first):", header]
+    for query in tail:
+        attribution = query["attribution"]
+        shard = attribution["tail_shard"]
+        shard_label = f"#{shard}" + ("+h" if attribution["hedge_won"] else "")
+        lines.append(
+            f"{query['query_id']:>7d} {format_time(query['latency_ns']):>10s} "
+            + " ".join(f"{format_time(attribution[c]):>10s}" for c in COMPONENTS)
+            + f" {shard_label:>10s}"
+        )
+    total = sum(q["latency_ns"] for q in tail)
+    if total > 0:
+        shares = " ".join(
+            f"{_LABELS[c]:s} {sum(q['attribution'][c] for q in tail) / total:.0%}"
+            for c in COMPONENTS
+        )
+        lines.append(f"tail time share: {shares}")
+    return "\n".join(lines)
+
+
+def waterfall(query: dict[str, Any], width: int = 64) -> str:
+    """ASCII waterfall of one query's span tree.
+
+    Each attempt renders as a bar over the query's lifetime:
+    ``.`` lane-queue (batch wait), ``-`` waiting for a CPU worker,
+    ``#`` running on the engine (hash compute + I/O), ``x`` the point a
+    queued hedge loser was cancelled.
+    """
+    admit = query["admit_ns"]
+    span_ns = max(query["latency_ns"], 1.0)
+
+    def column(t_ns: float) -> int:
+        return min(width - 1, max(0, int((t_ns - admit) / span_ns * width)))
+
+    lines = [
+        f"query {query['query_id']}: {format_time(query['latency_ns'])} "
+        f"(admit +0, finish +{format_time(query['latency_ns'])})"
+    ]
+    for sub in query["subqueries"]:
+        for position, attempt in enumerate(sub["attempts"]):
+            bar = [" "] * width
+            start_col = column(attempt["enqueue_ns"])
+            if attempt["outcome"] == "cancelled":
+                end_col = column(attempt["cancel_ns"])
+                for i in range(start_col, end_col):
+                    bar[i] = "."
+                bar[end_col] = "x"
+            else:
+                flush_col = column(attempt["flush_ns"])
+                run_col = column(attempt["start_ns"])
+                end_col = column(attempt["finish_ns"])
+                for i in range(start_col, flush_col):
+                    bar[i] = "."
+                for i in range(flush_col, run_col):
+                    bar[i] = "-"
+                for i in range(run_col, end_col + 1):
+                    bar[i] = "#"
+            kind = "hedge" if attempt["hedge"] else "prim "
+            marker = "*" if sub["winner"] == position else " "
+            label = f"  s{sub['shard']} r{attempt['replica']} {kind}{marker}"
+            outcome = attempt["outcome"]
+            lines.append(f"{label:<16s}|{''.join(bar)}| {outcome}")
+    lines.append(f"{'':<16s} legend: . batch wait  - queue wait  # on engine")
+    return "\n".join(lines)
+
+
+def render_report(
+    spans: dict[str, Any], pct: float = 99.0, top: int = 5, width: int = 64
+) -> str:
+    """Full text report: run summary, slowest-query waterfall, tail table."""
+    queries = spans["queries"]
+    if not queries:
+        return "trace holds no completed queries"
+    latencies = [q["latency_ns"] for q in queries]
+    hedge_wins = sum(1 for q in queries if q["attribution"]["hedge_won"])
+    lines = [
+        f"{len(queries)} traced queries, {spans.get('rejected', 0)} rejected; "
+        f"p50 {format_time(percentile(latencies, 50))}, "
+        f"p99 {format_time(percentile(latencies, 99))}, "
+        f"{hedge_wins} completed via a hedge duplicate",
+        "",
+    ]
+    slowest = max(queries, key=lambda q: (q["latency_ns"], q["query_id"]))
+    lines.append(waterfall(slowest, width=width))
+    lines.append("")
+    lines.append(tail_attribution(spans, pct=pct, top=top))
+    return "\n".join(lines)

@@ -1,0 +1,552 @@
+"""Per-query span tracing for the serving event loop.
+
+The service and dispatcher call the hooks on a :class:`Tracer`; the
+base class no-ops every hook (and is shared as :data:`NULL_TRACER`), so
+an untraced run pays nothing but the virtual calls.  A
+:class:`SpanTracer` records a span tree per admitted query:
+
+- the **query span**: admission to last-shard completion;
+- one **sub-query span** per shard, holding hedge-timer milestones
+  (armed / fired / disarmed / suppressed);
+- one **attempt span** per replica the sub-query was sent to (the
+  primary, plus a hedge duplicate when the timer fired), each carrying
+  its lane-queue timestamps (enqueue, flush) and — via the engine's
+  :class:`~repro.storage.engine.TaskProfile` — its on-engine breakdown
+  (first run, hash compute, I/O issue cost, device wait).
+
+Every timestamp is *simulated* nanoseconds, so a fixed seed yields a
+byte-identical exported trace (regression-tested); wall-clock
+self-profiling lives in :mod:`repro.obs.selfprof` and never leaks into
+the trace file.
+
+The latency attribution (:class:`Attribution`) answers "where did the
+p99 spend its time" the way PLSH/QALSH argue their scaling claims —
+per-query time budgets, not end-of-run averages.  For a query it takes
+the sub-query that *finished last* (the one that determined service
+latency; the scatter-gather merge is charged zero time) and splits its
+winning attempt's latency exactly into:
+
+- ``hedge_ns``   — time spent waiting on the primary before the winning
+  duplicate was issued (zero when the primary won);
+- ``batch_ns``   — lane-queue time before the micro-batch flushed;
+- ``queue_ns``   — flushed-to-first-run wait for a free CPU worker;
+- ``hash_ns``    — the task's own Compute time (hashing, distances);
+- ``io_ns``      — request-issue CPU plus device wait;
+- ``other_ns``   — residual (clamped at zero; non-zero only for queries
+  whose tail sub-query is not what completed them, which cannot happen
+  under the current merge).
+
+Export formats: a structured ``spans`` payload (consumed by ``repro
+report``) embedded alongside standard Chrome ``trace_event`` JSON, so
+one file both feeds the CLI and opens in Perfetto /
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.utils.units import NS_PER_US
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.engine import Completion
+
+__all__ = [
+    "Tracer",
+    "SpanTracer",
+    "NULL_TRACER",
+    "AttemptSpan",
+    "SubQuerySpan",
+    "QuerySpan",
+    "Attribution",
+    "TRACE_SCHEMA",
+]
+
+TRACE_SCHEMA = "repro-trace/1"
+
+
+class Tracer:
+    """No-op tracer: the hooks the serving stack calls, all stubs.
+
+    ``enabled`` gates the *expensive* instrumentation (per-task engine
+    profiling); the hook calls themselves are cheap enough to stay
+    unconditional in the dispatcher and service.
+    """
+
+    enabled: bool = False
+
+    def query_admitted(self, query_id: int, now_ns: float) -> None:
+        """An admitted query entered the service."""
+
+    def query_rejected(self, query_id: int, now_ns: float) -> None:
+        """A query was shed by admission control."""
+
+    def query_completed(self, query_id: int, finish_ns: float) -> None:
+        """The query's last shard answered; the merge is charged zero."""
+
+    def attempt_enqueued(
+        self, query_id: int, shard: int, replica: int, hedge: bool, now_ns: float
+    ) -> None:
+        """A sub-query copy entered a replica lane."""
+
+    def attempt_flushed(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        """The copy's micro-batch was released to the replica engine."""
+
+    def attempt_cancelled(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        """A still-queued hedge loser was dropped from its lane."""
+
+    def attempt_finished(
+        self,
+        query_id: int,
+        shard: int,
+        replica: int,
+        completion: "Completion",
+        winner: bool,
+    ) -> None:
+        """A copy ran to completion on its replica (winner or loser)."""
+
+    def hedge_armed(self, query_id: int, shard: int, deadline_ns: float) -> None:
+        """A hedge timer was armed at admission."""
+
+    def hedge_fired(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        """The timer fired; a duplicate was issued to ``replica``."""
+
+    def hedge_disarmed(self, query_id: int, shard: int, now_ns: float) -> None:
+        """The primary answered before the deadline; timer cancelled."""
+
+    def hedge_suppressed(self, query_id: int, shard: int, now_ns: float) -> None:
+        """The timer fired but no replica could take the duplicate."""
+
+
+#: Shared no-op tracer (stateless, safe to reuse across services).
+NULL_TRACER = Tracer()
+
+
+@dataclass
+class AttemptSpan:
+    """One copy of a sub-query on one replica."""
+
+    replica: int
+    #: True for a hedge duplicate, False for the primary.
+    hedge: bool
+    enqueue_ns: float
+    flush_ns: float = math.nan
+    start_ns: float = math.nan
+    finish_ns: float = math.nan
+    cancel_ns: float = math.nan
+    compute_ns: float = 0.0
+    io_cpu_ns: float = 0.0
+    io_wait_ns: float = 0.0
+    io_count: int = 0
+    #: "win" | "loss" | "cancelled" | "pending"
+    outcome: str = "pending"
+
+
+@dataclass
+class SubQuerySpan:
+    """One shard's share of a query: the attempts plus hedge milestones."""
+
+    shard: int
+    admit_ns: float = math.nan
+    done_ns: float = math.nan
+    #: Index into ``attempts`` of the copy whose answer was used.
+    winner: int | None = None
+    hedge_deadline_ns: float = math.nan
+    hedge_fire_ns: float = math.nan
+    hedge_disarm_ns: float = math.nan
+    hedge_suppressed: bool = False
+    attempts: list[AttemptSpan] = field(default_factory=list)
+
+    def attempt_for(self, replica: int) -> AttemptSpan:
+        """The attempt routed to ``replica`` (unique per sub-query)."""
+        for attempt in self.attempts:
+            if attempt.replica == replica:
+                return attempt
+        raise KeyError(f"shard {self.shard} has no attempt on replica {replica}")
+
+
+@dataclass
+class QuerySpan:
+    """Span tree of one admitted query."""
+
+    query_id: int
+    admit_ns: float = math.nan
+    finish_ns: float = math.nan
+    subqueries: dict[int, SubQuerySpan] = field(default_factory=dict)
+
+    @property
+    def latency_ns(self) -> float:
+        """Admission-to-completion service latency."""
+        return self.finish_ns - self.admit_ns
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """Where one query's service latency went (sums to ``latency_ns``)."""
+
+    query_id: int
+    latency_ns: float
+    #: Shard whose sub-query finished last (set the latency).
+    tail_shard: int
+    #: True when a hedge duplicate produced the tail answer.
+    hedge_won: bool
+    batch_ns: float
+    queue_ns: float
+    hash_ns: float
+    io_ns: float
+    hedge_ns: float
+    other_ns: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready mapping (embedded in the trace export)."""
+        return {
+            "tail_shard": self.tail_shard,
+            "hedge_won": self.hedge_won,
+            "batch_ns": self.batch_ns,
+            "queue_ns": self.queue_ns,
+            "hash_ns": self.hash_ns,
+            "io_ns": self.io_ns,
+            "hedge_ns": self.hedge_ns,
+            "other_ns": self.other_ns,
+        }
+
+
+def attribute(span: QuerySpan) -> Attribution:
+    """Break one completed query's latency into its components."""
+    tail: SubQuerySpan | None = None
+    for sub in span.subqueries.values():
+        if sub.winner is None:
+            continue
+        if tail is None or sub.done_ns > tail.done_ns:
+            tail = sub
+    if tail is None or tail.winner is None:
+        raise ValueError(f"query {span.query_id} has no completed sub-query")
+    attempt = tail.attempts[tail.winner]
+    hedge_ns = attempt.enqueue_ns - span.admit_ns if attempt.hedge else 0.0
+    batch_ns = attempt.flush_ns - attempt.enqueue_ns
+    queue_ns = attempt.start_ns - attempt.flush_ns
+    hash_ns = attempt.compute_ns
+    io_ns = attempt.io_cpu_ns + attempt.io_wait_ns
+    accounted = hedge_ns + batch_ns + queue_ns + hash_ns + io_ns
+    other_ns = max(0.0, span.latency_ns - accounted)
+    return Attribution(
+        query_id=span.query_id,
+        latency_ns=span.latency_ns,
+        tail_shard=tail.shard,
+        hedge_won=attempt.hedge,
+        batch_ns=batch_ns,
+        queue_ns=queue_ns,
+        hash_ns=hash_ns,
+        io_ns=io_ns,
+        hedge_ns=hedge_ns,
+        other_ns=other_ns,
+    )
+
+
+def _clean(value: float) -> float | None:
+    """NaN -> None so the export is strict JSON (Perfetto rejects NaN)."""
+    return None if isinstance(value, float) and math.isnan(value) else value
+
+
+class SpanTracer(Tracer):
+    """Recording tracer: builds the span tree of every admitted query."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: dict[int, QuerySpan] = {}
+        self.rejected: list[tuple[int, float]] = []
+
+    # -- hooks ----------------------------------------------------------------
+
+    def _query(self, query_id: int) -> QuerySpan:
+        span = self.spans.get(query_id)
+        if span is None:
+            span = self.spans[query_id] = QuerySpan(query_id=query_id)
+        return span
+
+    def _sub(self, query_id: int, shard: int) -> SubQuerySpan:
+        span = self._query(query_id)
+        sub = span.subqueries.get(shard)
+        if sub is None:
+            sub = span.subqueries[shard] = SubQuerySpan(shard=shard)
+        return sub
+
+    def query_admitted(self, query_id: int, now_ns: float) -> None:
+        self._query(query_id).admit_ns = now_ns
+
+    def query_rejected(self, query_id: int, now_ns: float) -> None:
+        self.rejected.append((query_id, now_ns))
+
+    def query_completed(self, query_id: int, finish_ns: float) -> None:
+        self._query(query_id).finish_ns = finish_ns
+
+    def attempt_enqueued(
+        self, query_id: int, shard: int, replica: int, hedge: bool, now_ns: float
+    ) -> None:
+        sub = self._sub(query_id, shard)
+        if not hedge and math.isnan(sub.admit_ns):
+            sub.admit_ns = now_ns
+        sub.attempts.append(AttemptSpan(replica=replica, hedge=hedge, enqueue_ns=now_ns))
+
+    def attempt_flushed(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        self._sub(query_id, shard).attempt_for(replica).flush_ns = now_ns
+
+    def attempt_cancelled(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        attempt = self._sub(query_id, shard).attempt_for(replica)
+        attempt.cancel_ns = now_ns
+        attempt.outcome = "cancelled"
+
+    def attempt_finished(
+        self,
+        query_id: int,
+        shard: int,
+        replica: int,
+        completion: "Completion",
+        winner: bool,
+    ) -> None:
+        sub = self._sub(query_id, shard)
+        attempt = sub.attempt_for(replica)
+        attempt.finish_ns = completion.finish_ns
+        attempt.outcome = "win" if winner else "loss"
+        profile = completion.profile
+        if profile is not None:
+            attempt.start_ns = profile.start_ns
+            attempt.compute_ns = profile.compute_ns
+            attempt.io_cpu_ns = profile.io_cpu_ns
+            attempt.io_wait_ns = profile.io_wait_ns
+            attempt.io_count = profile.io_count
+        if winner:
+            sub.done_ns = completion.finish_ns
+            sub.winner = sub.attempts.index(attempt)
+
+    def hedge_armed(self, query_id: int, shard: int, deadline_ns: float) -> None:
+        self._sub(query_id, shard).hedge_deadline_ns = deadline_ns
+
+    def hedge_fired(
+        self, query_id: int, shard: int, replica: int, now_ns: float
+    ) -> None:
+        self._sub(query_id, shard).hedge_fire_ns = now_ns
+
+    def hedge_disarmed(self, query_id: int, shard: int, now_ns: float) -> None:
+        self._sub(query_id, shard).hedge_disarm_ns = now_ns
+
+    def hedge_suppressed(self, query_id: int, shard: int, now_ns: float) -> None:
+        self._sub(query_id, shard).hedge_suppressed = True
+
+    # -- analysis -------------------------------------------------------------
+
+    def completed_spans(self) -> list[QuerySpan]:
+        """Spans of completed queries, by query id."""
+        return [
+            span
+            for _, span in sorted(self.spans.items())
+            if not math.isnan(span.finish_ns)
+        ]
+
+    def attributions(self) -> list[Attribution]:
+        """Latency attribution of every completed query, by query id."""
+        return [attribute(span) for span in self.completed_spans()]
+
+    # -- export ---------------------------------------------------------------
+
+    def spans_payload(self) -> dict[str, Any]:
+        """Structured span payload (what ``repro report`` consumes)."""
+        queries = []
+        for span in self.completed_spans():
+            attribution = attribute(span)
+            queries.append(
+                {
+                    "query_id": span.query_id,
+                    "admit_ns": span.admit_ns,
+                    "finish_ns": span.finish_ns,
+                    "latency_ns": span.latency_ns,
+                    "attribution": attribution.as_dict(),
+                    "subqueries": [
+                        {
+                            "shard": sub.shard,
+                            "admit_ns": _clean(sub.admit_ns),
+                            "done_ns": _clean(sub.done_ns),
+                            "winner": sub.winner,
+                            "hedge_deadline_ns": _clean(sub.hedge_deadline_ns),
+                            "hedge_fire_ns": _clean(sub.hedge_fire_ns),
+                            "hedge_disarm_ns": _clean(sub.hedge_disarm_ns),
+                            "hedge_suppressed": sub.hedge_suppressed,
+                            "attempts": [
+                                {
+                                    "replica": attempt.replica,
+                                    "hedge": attempt.hedge,
+                                    "enqueue_ns": _clean(attempt.enqueue_ns),
+                                    "flush_ns": _clean(attempt.flush_ns),
+                                    "start_ns": _clean(attempt.start_ns),
+                                    "finish_ns": _clean(attempt.finish_ns),
+                                    "cancel_ns": _clean(attempt.cancel_ns),
+                                    "compute_ns": attempt.compute_ns,
+                                    "io_cpu_ns": attempt.io_cpu_ns,
+                                    "io_wait_ns": attempt.io_wait_ns,
+                                    "io_count": attempt.io_count,
+                                    "outcome": attempt.outcome,
+                                }
+                                for attempt in sub.attempts
+                            ],
+                        }
+                        for _, sub in sorted(span.subqueries.items())
+                    ],
+                }
+            )
+        return {
+            "schema": TRACE_SCHEMA,
+            "rejected": len(self.rejected),
+            "queries": queries,
+        }
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """Chrome ``trace_event`` object (JSON Object Format).
+
+        Loads directly in Perfetto / ``chrome://tracing``: query spans
+        are async ``b``/``e`` events on a "service" process; each
+        attempt is a complete ``X`` slice on the ``shard``/``replica``
+        process/thread it ran on (args carry the breakdown); hedge
+        fires and loser cancellations are instant events.  The
+        structured span payload rides along under ``"spans"`` — viewers
+        ignore unknown top-level keys.
+        """
+        us = 1.0 / NS_PER_US
+        events: list[dict[str, Any]] = [
+            {
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": "service"},
+            }
+        ]
+        named: set[tuple[int, int]] = set()
+        for span in self.completed_spans():
+            qid = span.query_id
+            events.append(
+                {
+                    "ph": "b",
+                    "cat": "query",
+                    "id": qid,
+                    "pid": 0,
+                    "tid": 0,
+                    "name": "query",
+                    "ts": span.admit_ns * us,
+                    "args": {"query_id": qid},
+                }
+            )
+            for shard, sub in sorted(span.subqueries.items()):
+                pid = shard + 1
+                if (pid, -1) not in named:
+                    named.add((pid, -1))
+                    events.append(
+                        {
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": 0,
+                            "name": "process_name",
+                            "args": {"name": f"shard {shard}"},
+                        }
+                    )
+                for attempt in sub.attempts:
+                    tid = attempt.replica
+                    if (pid, tid) not in named:
+                        named.add((pid, tid))
+                        events.append(
+                            {
+                                "ph": "M",
+                                "pid": pid,
+                                "tid": tid,
+                                "name": "thread_name",
+                                "args": {"name": f"replica {tid}"},
+                            }
+                        )
+                    if attempt.outcome == "cancelled":
+                        events.append(
+                            {
+                                "ph": "i",
+                                "s": "t",
+                                "cat": "hedge",
+                                "pid": pid,
+                                "tid": tid,
+                                "name": f"cancel q{qid}",
+                                "ts": attempt.cancel_ns * us,
+                            }
+                        )
+                        continue
+                    if math.isnan(attempt.start_ns) or math.isnan(attempt.finish_ns):
+                        continue  # pragma: no cover - incomplete attempt
+                    name = f"q{qid}" + ("+hedge" if attempt.hedge else "")
+                    events.append(
+                        {
+                            "ph": "X",
+                            "cat": "attempt",
+                            "pid": pid,
+                            "tid": tid,
+                            "name": name,
+                            "ts": attempt.start_ns * us,
+                            "dur": (attempt.finish_ns - attempt.start_ns) * us,
+                            "args": {
+                                "outcome": attempt.outcome,
+                                "batch_wait_us": (attempt.flush_ns - attempt.enqueue_ns)
+                                * us,
+                                "queue_wait_us": (attempt.start_ns - attempt.flush_ns)
+                                * us,
+                                "hash_compute_us": attempt.compute_ns * us,
+                                "io_us": (attempt.io_cpu_ns + attempt.io_wait_ns) * us,
+                                "io_count": attempt.io_count,
+                            },
+                        }
+                    )
+                if not math.isnan(sub.hedge_fire_ns):
+                    events.append(
+                        {
+                            "ph": "i",
+                            "s": "p",
+                            "cat": "hedge",
+                            "pid": pid,
+                            "tid": 0,
+                            "name": f"hedge-fire q{qid}",
+                            "ts": sub.hedge_fire_ns * us,
+                        }
+                    )
+            events.append(
+                {
+                    "ph": "e",
+                    "cat": "query",
+                    "id": qid,
+                    "pid": 0,
+                    "tid": 0,
+                    "name": "query",
+                    "ts": span.finish_ns * us,
+                }
+            )
+        return {
+            "displayTimeUnit": "ms",
+            "traceEvents": events,
+            "spans": self.spans_payload(),
+        }
+
+    def write(self, path: str) -> None:
+        """Write the Chrome trace (with embedded spans) to ``path``.
+
+        Serialization is deterministic (sorted keys, fixed separators):
+        the byte-identical-trace regression test depends on it.
+        """
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle, indent=1, sort_keys=True)
+            handle.write("\n")

@@ -37,6 +37,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.replication import ReplicaRouter, RoutingConfig
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import ServiceStats
@@ -107,12 +108,14 @@ class Dispatcher:
         config: DispatchConfig,
         stats: ServiceStats,
         routing: RoutingConfig | None = None,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.sharded = sharded
         self.sessions = self._check_sessions(sharded, sessions)
         self.config = config
         self.stats = stats
         self.routing = routing or RoutingConfig()
+        self.tracer = tracer
         self.router = ReplicaRouter(self.routing, n_shards=sharded.n_shards)
         self._lanes = [[_Lane() for _ in row] for row in self.sessions]
         #: (query_id, shard) -> admission time, for hedge-anchor latencies.
@@ -177,12 +180,19 @@ class Dispatcher:
         return True
 
     def _enqueue(
-        self, shard_id: int, replica: int, query_id: int, task: Any, now_ns: float
+        self,
+        shard_id: int,
+        replica: int,
+        query_id: int,
+        task: Any,
+        now_ns: float,
+        hedge: bool = False,
     ) -> None:
         lane = self._lanes[shard_id][replica]
         lane.pending.append((query_id, task, now_ns))
         lane.outstanding += 1
         self.stats.queue_depth_samples.append(len(lane.pending))
+        self.tracer.attempt_enqueued(query_id, shard_id, replica, hedge, now_ns)
 
     # -- flushing -------------------------------------------------------------
 
@@ -214,7 +224,18 @@ class Dispatcher:
         self.stats.batch_sizes.append(len(lane.pending))
         for query_id, task, _ in lane.pending:
             self.sessions[shard_id][replica].submit(task, ready_ns=now_ns, tag=query_id)
+            self.tracer.attempt_flushed(query_id, shard_id, replica, now_ns)
         lane.pending.clear()
+
+    # -- introspection (timeline sampling) ------------------------------------
+
+    def queue_depths(self) -> list[list[int]]:
+        """Sub-queries waiting (unflushed) per (shard, replica) lane."""
+        return [[len(lane.pending) for lane in row] for row in self._lanes]
+
+    def outstanding_counts(self) -> list[list[int]]:
+        """Outstanding sub-queries (queued + in flight) per lane."""
+        return [[lane.outstanding for lane in row] for row in self._lanes]
 
     # -- hedging --------------------------------------------------------------
 
@@ -234,6 +255,7 @@ class Dispatcher:
         heapq.heappush(self._hedge_heap, (deadline_ns, self._hedge_seq, key))
         self._hedge_seq += 1
         self.stats.hedges_armed += 1
+        self.tracer.hedge_armed(query_id, shard_id, deadline_ns)
 
     def _prune_hedges(self) -> None:
         while self._hedge_heap:
@@ -270,10 +292,12 @@ class Dispatcher:
                 # No replica can take the duplicate; leave the primary be.
                 state.cancelled = True
                 self.stats.hedges_suppressed += 1
+                self.tracer.hedge_suppressed(query_id, shard_id, now_ns)
                 continue
             state.secondary = secondary
             task = self.sharded.shards[shard_id].query_task(state.query, k=state.k)
-            self._enqueue(shard_id, secondary, query_id, task, now_ns)
+            self.tracer.hedge_fired(query_id, shard_id, secondary, now_ns)
+            self._enqueue(shard_id, secondary, query_id, task, now_ns, hedge=True)
             self.stats.hedges_issued += 1
             if len(lanes[secondary].pending) >= self.config.max_batch:
                 self._flush(shard_id, secondary, now_ns)
@@ -309,6 +333,9 @@ class Dispatcher:
         key = (completion.tag, shard_id)
         if key in self._expect_loser:
             self._expect_loser.discard(key)
+            self.tracer.attempt_finished(
+                completion.tag, shard_id, replica, completion, winner=False
+            )
             return None
         admit_ns = self._admit_ns.pop(key, None)
         if admit_ns is None:  # pragma: no cover - defensive
@@ -320,6 +347,7 @@ class Dispatcher:
                 # Primary answered before the timer fired: disarm it.
                 state.cancelled = True
                 self.stats.hedges_cancelled += 1
+                self.tracer.hedge_disarmed(completion.tag, shard_id, completion.finish_ns)
             else:
                 loser = state.primary if replica == state.secondary else state.secondary
                 if replica == state.secondary:
@@ -329,6 +357,12 @@ class Dispatcher:
                 if self._cancel_queued(shard_id, loser, completion.tag):
                     # The losing copy never reached the device.
                     self.stats.hedge_losers_cancelled += 1
+                    self.tracer.attempt_cancelled(
+                        completion.tag, shard_id, loser, completion.finish_ns
+                    )
                 else:
                     self._expect_loser.add(key)
+        self.tracer.attempt_finished(
+            completion.tag, shard_id, replica, completion, winner=True
+        )
         return completion.result

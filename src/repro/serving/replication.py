@@ -234,9 +234,12 @@ class ReplicaGroup:
         """Replication factor R of this shard."""
         return len(self.engines)
 
-    def sessions(self, workers: int = 1) -> list[EngineSession]:
+    def sessions(self, workers: int = 1, profile_tasks: bool = False) -> list[EngineSession]:
         """Open one incremental session per replica."""
-        return [engine.session(workers=workers) for engine in self.engines]
+        return [
+            engine.session(workers=workers, profile_tasks=profile_tasks)
+            for engine in self.engines
+        ]
 
 
 # --------------------------------------------------------------------------

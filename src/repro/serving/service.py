@@ -39,6 +39,9 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.e2lsh import QueryAnswer
+from repro.obs.metrics import MetricsRegistry, Timeline
+from repro.obs.selfprof import LoopProfile
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
 from repro.serving.loadgen import (
     Arrival,
@@ -63,15 +66,29 @@ class QueryService:
         dispatch: DispatchConfig | None = None,
         routing: RoutingConfig | None = None,
         workers_per_shard: int = 1,
+        tracer: Tracer | None = None,
+        metrics_interval_ns: float | None = None,
     ) -> None:
         self.sharded = sharded
         self.dispatch = dispatch or DispatchConfig()
         self.routing = routing or RoutingConfig()
         self.workers_per_shard = workers_per_shard
+        #: Span tracer observing the run; the default no-ops every hook
+        #: and keeps per-task engine profiling off (zero-cost-when-off).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Simulated-time sampling period for the metrics timeline;
+        #: ``None`` disables sampling.
+        self.metrics_interval_ns = metrics_interval_ns
         #: Merged answers of the last run, keyed by query id.
         self.answers: dict[int, QueryAnswer] = {}
         #: Collector of the last run.
         self.stats = ServiceStats()
+        #: Metrics registry of the last run (filled at run end).
+        self.metrics = MetricsRegistry()
+        #: Timeline of the last run (``None`` unless sampling enabled).
+        self.timeline: Timeline | None = None
+        #: Wall-clock self-profile of the last run's event loop.
+        self.loop_profile = LoopProfile()
 
     # -- public entry points --------------------------------------------------
 
@@ -122,12 +139,27 @@ class QueryService:
     ) -> ServiceReport:
         self.stats = ServiceStats()
         self.answers = {}
+        self.metrics = MetricsRegistry()
+        self.timeline = (
+            Timeline(self.metrics_interval_ns)
+            if self.metrics_interval_ns is not None
+            else None
+        )
+        self.loop_profile = profile = LoopProfile()
+        tracer = self.tracer
         sessions = [
-            group.sessions(workers=self.workers_per_shard)
+            group.sessions(
+                workers=self.workers_per_shard, profile_tasks=tracer.enabled
+            )
             for group in self.sharded.replica_groups
         ]
         dispatcher = Dispatcher(
-            self.sharded, sessions, self.dispatch, self.stats, routing=self.routing
+            self.sharded,
+            sessions,
+            self.dispatch,
+            self.stats,
+            routing=self.routing,
+            tracer=tracer,
         )
         n_shards = self.sharded.n_shards
         flat_sessions = [
@@ -141,12 +173,30 @@ class QueryService:
         #: query_id -> (arrival_ns, pool_index, parts, latest finish so far)
         in_flight: dict[int, tuple[float, int, list[QueryAnswer], float]] = {}
 
+        def sample(t_ns: float) -> dict:
+            """Timeline row: run state as of the last event before t_ns."""
+            return {
+                "in_flight": len(in_flight),
+                "completed": len(self.stats.records),
+                "rejected": self.stats.rejected,
+                "queue_depth": dispatcher.queue_depths(),
+                "outstanding": dispatcher.outstanding_counts(),
+                "replica_io_counts": [
+                    [session.io_count for session in row] for row in sessions
+                ],
+                "hedges_issued": self.stats.hedges_issued,
+                "hedge_wins": self.stats.hedge_wins,
+                "hedges_cancelled": self.stats.hedges_cancelled,
+            }
+
         def issue(arrival: Arrival | None) -> None:
             if arrival is not None:
                 heapq.heappush(
                     arrival_heap, (arrival.time_ns, arrival.query_id, arrival.pool_index)
                 )
 
+        timeline = self.timeline
+        profile.start()
         while (
             arrival_heap
             or dispatcher.has_pending
@@ -159,11 +209,15 @@ class QueryService:
                 flat_sessions, key=lambda entry: entry[2].next_ready_ns
             )
             t_engine = session.next_ready_ns
-            if math.isinf(min(t_arrival, t_flush, t_hedge, t_engine)):
+            t_next = min(t_arrival, t_flush, t_hedge, t_engine)
+            if math.isinf(t_next):
                 break  # pragma: no cover - defensive
+            if timeline is not None:
+                timeline.advance(t_next, sample)
 
             # Contract: completions -> flushes -> hedges -> arrivals.
             if t_engine <= min(t_flush, t_hedge, t_arrival):
+                profile.engine_steps += 1
                 completion = session.step()
                 if completion is None:
                     continue
@@ -180,36 +234,69 @@ class QueryService:
                 del in_flight[query_id]
                 self.answers[query_id] = merge_answers(parts, k)
                 self.stats.record_completion(query_id, pool_index, arrival_ns, latest)
+                tracer.query_completed(query_id, latest)
                 if on_done is not None:
                     issue(on_done(latest))
                 continue
 
             if t_flush <= min(t_hedge, t_arrival):
+                profile.flushes += 1
                 dispatcher.flush_due(t_flush)
                 continue
 
             if t_hedge <= t_arrival:
+                profile.hedges += 1
                 dispatcher.fire_hedges(t_hedge)
                 continue
 
+            profile.arrivals += 1
             _, query_id, pool_index = heapq.heappop(arrival_heap)
             if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
                 in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
-            elif on_done is not None:
-                # Closed loop: the shed client retries after a backoff.
-                issue(
-                    Arrival(
-                        query_id=query_id,
-                        time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
-                        pool_index=pool_index,
+                tracer.query_admitted(query_id, t_arrival)
+            else:
+                profile.rejections += 1
+                tracer.query_rejected(query_id, t_arrival)
+                if on_done is not None:
+                    # Closed loop: the shed client retries after a backoff.
+                    issue(
+                        Arrival(
+                            query_id=query_id,
+                            time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
+                            pool_index=pool_index,
+                        )
                     )
-                )
+        profile.stop()
 
         if in_flight:  # pragma: no cover - defensive
             raise RuntimeError(f"{len(in_flight)} queries never completed")
+        self._publish_metrics()
         return self.stats.report(
             [[session.result() for session in row] for row in sessions]
         )
+
+    def _publish_metrics(self) -> None:
+        """Mirror the finished run into the metrics registry."""
+        metrics = self.metrics
+        stats = self.stats
+        metrics.counter("queries_completed").inc(len(stats.records))
+        metrics.counter("queries_rejected").inc(stats.rejected)
+        metrics.counter("hedges_issued").inc(stats.hedges_issued)
+        metrics.counter("hedge_wins").inc(stats.hedge_wins)
+        metrics.counter("hedges_cancelled").inc(stats.hedges_cancelled)
+        latency = metrics.histogram("query_latency_ns")
+        for record in stats.records:
+            latency.observe(record.latency_ns)
+        self.loop_profile.publish(metrics)
+
+    def metrics_snapshot(self) -> dict:
+        """Exportable metrics of the last run (registry, timeline, wall)."""
+        return {
+            "schema": "repro-metrics/1",
+            "metrics": self.metrics.snapshot(),
+            "timeline": self.timeline.as_dict() if self.timeline else None,
+            "wall": self.loop_profile.as_dict(),
+        }
 
     @staticmethod
     def _check_pool(pool: np.ndarray) -> np.ndarray:

@@ -111,11 +111,13 @@ class ServiceStats:
         :class:`EngineResult` list; a bare :class:`EngineResult` is
         accepted as a single-copy shard.
         """
-        if not self.records:
-            raise ValueError("no completed queries to report on")
         nested: list[list[EngineResult]] = [
             [row] if isinstance(row, EngineResult) else list(row) for row in shard_results
         ]
+        if not self.records:
+            if self.rejected == 0:
+                raise ValueError("no completed queries to report on")
+            return self._rejection_only_report(nested)
         latencies = self.latencies_ns()
         first_arrival = min(record.arrival_ns for record in self.records)
         last_finish = max(record.finish_ns for record in self.records)
@@ -162,6 +164,51 @@ class ServiceStats:
             replica_active_fraction=tuple(
                 tuple(active_fraction(result) for result in row) for row in nested
             ),
+            hedges_armed=self.hedges_armed,
+            hedges_cancelled=self.hedges_cancelled,
+            hedges_issued=self.hedges_issued,
+            hedge_wins=self.hedge_wins,
+            hedge_losses=self.hedge_losses,
+            hedge_losers_cancelled=self.hedge_losers_cancelled,
+            hedges_suppressed=self.hedges_suppressed,
+        )
+
+    def _rejection_only_report(
+        self, nested: list[list[EngineResult]]
+    ) -> "ServiceReport":
+        """Report of a run where admission shed every single query.
+
+        There is no latency distribution to summarize, but the run still
+        happened — overload experiments (tiny ``queue_capacity``, huge
+        offered rate) want the rejection count and queue figures back,
+        not a crash.
+        """
+        return ServiceReport(
+            completed=0,
+            rejected=self.rejected,
+            duration_ns=0.0,
+            throughput_qps=0.0,
+            mean_latency_ns=0.0,
+            p50_ns=0.0,
+            p95_ns=0.0,
+            p99_ns=0.0,
+            max_latency_ns=0.0,
+            mean_queue_depth=(
+                float(np.mean(self.queue_depth_samples)) if self.queue_depth_samples else 0.0
+            ),
+            max_queue_depth=max(self.queue_depth_samples, default=0),
+            mean_batch_size=(
+                float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+            ),
+            shard_iops=tuple(0.0 for _ in nested),
+            shard_io_counts=tuple(
+                sum(result.io_count for result in row) for row in nested
+            ),
+            replica_iops=tuple(tuple(0.0 for _ in row) for row in nested),
+            replica_io_counts=tuple(
+                tuple(result.io_count for result in row) for row in nested
+            ),
+            replica_active_fraction=tuple(tuple(0.0 for _ in row) for row in nested),
             hedges_armed=self.hedges_armed,
             hedges_cancelled=self.hedges_cancelled,
             hedges_issued=self.hedges_issued,
@@ -242,7 +289,7 @@ class ServiceReport:
             f"mean batch {self.mean_batch_size:.1f}",
             "shards: "
             + ", ".join(
-                f"#{i} {format_iops(iops)} ({count} IOs)"
+                f"#{i} {format_iops(iops)} ({count} IOs{self._active_suffix(i)})"
                 for i, (iops, count) in enumerate(zip(self.shard_iops, self.shard_io_counts))
             ),
         ]
@@ -261,7 +308,17 @@ class ServiceReport:
             lines.append(
                 f"hedges: armed {self.hedges_armed}, cancelled {self.hedges_cancelled}, "
                 f"issued {self.hedges_issued}, wins {self.hedge_wins}, "
-                f"losses {self.hedge_losses} "
-                f"({self.hedge_losers_cancelled} losers cancelled in queue)"
+                f"losses {self.hedge_losses}, suppressed {self.hedges_suppressed} "
+                f"({self.hedge_losers_cancelled} losers cancelled in queue, "
+                f"{self.hedge_fraction:.1%} duplicate rate)"
             )
         return "\n".join(lines)
+
+    def _active_suffix(self, shard: int) -> str:
+        """``, active NN%`` for the shard's busiest replica, if known."""
+        if shard >= len(self.replica_active_fraction):
+            return ""
+        row = self.replica_active_fraction[shard]
+        if not row:
+            return ""
+        return f", active {max(row):.0%}"

@@ -47,6 +47,7 @@ __all__ = [
     "EngineSession",
     "AsyncIOEngine",
     "Task",
+    "TaskProfile",
 ]
 
 #: A query task: a generator yielding actions and finally returning a result.
@@ -119,6 +120,28 @@ class EngineResult:
         return self.device_stats.observed_iops()
 
 
+@dataclass
+class TaskProfile:
+    """Per-task time attribution (only filled when the session profiles).
+
+    ``io_wait_ns`` is the time the task itself spent off-CPU waiting for
+    reads — the park-to-resume gap in asynchronous mode (which includes
+    any wait for its worker to come free again) and the blocking stall
+    in synchronous mode.  ``compute_ns`` is the task's own Compute time
+    (hashing, distances); ``io_cpu_ns`` the CPU cost of issuing its
+    requests.  ``start_ns`` is the first time the task ran, so
+    ``finish - start == compute + io_cpu + io_wait`` exactly.
+    """
+
+    start_ns: float = math.nan
+    compute_ns: float = 0.0
+    io_cpu_ns: float = 0.0
+    io_wait_ns: float = 0.0
+    io_count: int = 0
+    #: Internal: simulated time of the current park (None while running).
+    parked_ns: float | None = None
+
+
 @dataclass(frozen=True)
 class Completion:
     """One finished task, as reported by :meth:`EngineSession.step`."""
@@ -131,6 +154,9 @@ class Completion:
     result: Any
     #: Simulated time the task finished.
     finish_ns: float
+    #: Per-task attribution when the session was opened with
+    #: ``profile_tasks=True``; ``None`` otherwise.
+    profile: TaskProfile | None = None
 
 
 @dataclass
@@ -154,7 +180,9 @@ class EngineSession:
     batch special case — submit everything at t=0, then :meth:`drain`.
     """
 
-    def __init__(self, engine: "AsyncIOEngine", workers: int = 1) -> None:
+    def __init__(
+        self, engine: "AsyncIOEngine", workers: int = 1, profile_tasks: bool = False
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.engine = engine
@@ -169,6 +197,10 @@ class EngineSession:
         self.compute_ns = 0.0
         self.io_cpu_ns = 0.0
         self.stall_ns = 0.0
+        #: Per-task attribution, keyed by submission index.  ``None``
+        #: (the default) keeps the hot path free of bookkeeping; the
+        #: tracer-enabled service turns it on.
+        self._profiles: dict[int, TaskProfile] | None = {} if profile_tasks else None
 
     # -- submission -----------------------------------------------------------
 
@@ -185,6 +217,8 @@ class EngineSession:
         state = _TaskState(index=index, generator=task, worker=index % self.workers, tag=tag)
         self._results.append(None)
         self._finish_times.append(0.0)
+        if self._profiles is not None:
+            self._profiles[index] = TaskProfile()
         heapq.heappush(self._ready, (ready_ns, self._seq, state))
         self._seq += 1
         return index
@@ -212,6 +246,13 @@ class EngineSession:
         engine = self.engine
         ready_ns, _, state = heapq.heappop(self._ready)
         now = max(ready_ns, self._worker_free[state.worker])
+        profile = None if self._profiles is None else self._profiles[state.index]
+        if profile is not None:
+            if math.isnan(profile.start_ns):
+                profile.start_ns = now
+            elif profile.parked_ns is not None:
+                profile.io_wait_ns += now - profile.parked_ns
+                profile.parked_ns = None
         while True:
             try:
                 action = state.generator.send(state.send_value)
@@ -219,14 +260,22 @@ class EngineSession:
                 self._results[state.index] = stop.value
                 self._finish_times[state.index] = now
                 self._worker_free[state.worker] = now
+                if profile is not None:
+                    del self._profiles[state.index]
                 return Completion(
-                    index=state.index, tag=state.tag, result=stop.value, finish_ns=now
+                    index=state.index,
+                    tag=state.tag,
+                    result=stop.value,
+                    finish_ns=now,
+                    profile=profile,
                 )
             state.send_value = None
 
             if isinstance(action, Compute):
                 self.compute_ns += action.duration_ns
                 now += action.duration_ns
+                if profile is not None:
+                    profile.compute_ns += action.duration_ns
                 continue
 
             if isinstance(action, Read):
@@ -249,10 +298,16 @@ class EngineSession:
             data = [engine.store.read(address, length) for address, length in requests]
             payload: Any = data[0] if isinstance(action, Read) else data
             done_ns = max(completions)
+            if profile is not None:
+                overhead = engine.interface.cpu_overhead_ns * len(requests)
+                profile.io_cpu_ns += overhead
+                profile.io_count += len(requests)
 
             if engine.interface.synchronous:
                 # Figure 1(A): the CPU blocks until the data arrives.
                 self.stall_ns += max(0.0, done_ns - now)
+                if profile is not None:
+                    profile.io_wait_ns += max(0.0, done_ns - now)
                 now = max(now, done_ns)
                 state.send_value = payload
                 continue
@@ -260,6 +315,8 @@ class EngineSession:
             # Figure 1(B): park this task, free the worker for others.
             self._worker_free[state.worker] = now
             state.send_value = payload
+            if profile is not None:
+                profile.parked_ns = now
             heapq.heappush(self._ready, (done_ns, self._seq, state))
             self._seq += 1
             return None
@@ -308,9 +365,9 @@ class AsyncIOEngine:
         self.interface = interface
         self.store = store
 
-    def session(self, workers: int = 1) -> EngineSession:
+    def session(self, workers: int = 1, profile_tasks: bool = False) -> EngineSession:
         """Open an incremental execution session (resets the volume)."""
-        return EngineSession(self, workers=workers)
+        return EngineSession(self, workers=workers, profile_tasks=profile_tasks)
 
     def run(self, tasks: Sequence[Task], workers: int = 1) -> EngineResult:
         """Execute ``tasks`` to completion and return aggregate statistics.

@@ -154,3 +154,53 @@ def test_parser_rejects_unknown_dataset():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_loadtest_trace_and_metrics_exports(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--replicas", "2", "--routing", "hedged",
+        "--requests", "24", "--qps", "5000",
+        "--trace", str(trace_path),
+        "--metrics-out", str(metrics_path), "--metrics-interval-us", "200",
+    )
+    assert code == 0
+    assert "simulator:" in text
+    assert "query spans" in text
+
+    import json
+
+    trace = json.loads(trace_path.read_text())
+    assert trace["spans"]["schema"] == "repro-trace/1"
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["schema"] == "repro-metrics/1"
+    assert metrics["metrics"]["queries_completed"]["value"] == 24.0
+    assert metrics["timeline"]["samples"]
+    assert metrics["wall"]["events_total"] > 0
+
+
+def test_report_renders_waterfall_and_tail_table(tmp_path):
+    trace_path = tmp_path / "trace.json"
+    code, _ = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--requests", "16", "--qps", "5000", "--trace", str(trace_path),
+    )
+    assert code == 0
+    code, text = run_cli("report", str(trace_path), "--pct", "50", "--top", "3")
+    assert code == 0
+    assert "traced queries" in text
+    assert "tail attribution" in text
+    assert "legend" in text
+
+
+def test_report_rejects_non_trace_file(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"not": "a trace"}')
+    code, text = run_cli("report", str(bogus))
+    assert code == 1
+    assert "error" in text
+    code, text = run_cli("report", str(tmp_path / "missing.json"))
+    assert code == 1

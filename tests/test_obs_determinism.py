@@ -1,0 +1,110 @@
+"""Regression tests: tracing is deterministic and observation-free.
+
+Two contracts the observability layer must keep forever:
+
+1. same seed -> byte-identical exported trace (the trace carries only
+   simulated-clock data; wall-clock self-profiling lives in the metrics
+   export);
+2. tracing on vs off -> identical :class:`ServiceReport` numbers (the
+   tracer observes the simulation, never perturbs it).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.params import E2LSHParams
+from repro.obs.trace import SpanTracer
+from repro.serving.loadgen import OpenLoopWorkload
+from repro.serving.replication import FaultSpec, RoutingConfig
+from repro.serving.service import QueryService
+from repro.serving.sharding import ShardedIndex
+
+K = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    rng = np.random.default_rng(13)
+    data = rng.standard_normal((300, 16)).astype(np.float32)
+    pool = rng.standard_normal((12, 16)).astype(np.float32)
+    return data, pool
+
+
+@pytest.fixture(scope="module")
+def sharded(dataset):
+    data, _ = dataset
+    return ShardedIndex.build(
+        data,
+        E2LSHParams(n=300),
+        n_shards=2,
+        scheme="hash",
+        seed=13,
+        replicas=2,
+        faults=(FaultSpec(shard=0, replica=1, latency_multiplier=4.0),),
+    )
+
+
+def workload():
+    return OpenLoopWorkload(qps=50_000.0, n_queries=40, seed=2)
+
+
+def run(sharded, pool, tracer=None, metrics_interval_ns=None):
+    service = QueryService(
+        sharded,
+        routing=RoutingConfig(policy="hedged"),
+        tracer=tracer,
+        metrics_interval_ns=metrics_interval_ns,
+    )
+    report = service.run_open_loop(pool, workload(), k=K)
+    return service, report
+
+
+def test_same_seed_yields_byte_identical_traces(sharded, dataset, tmp_path):
+    _, pool = dataset
+    paths = []
+    for name in ("first.json", "second.json"):
+        tracer = SpanTracer()
+        run(sharded, pool, tracer=tracer)
+        path = tmp_path / name
+        tracer.write(path)
+        paths.append(path)
+    first, second = (path.read_bytes() for path in paths)
+    assert first == second
+    assert len(first) > 1000  # a real trace, not an empty shell
+
+
+def test_tracing_does_not_change_the_service_report(sharded, dataset):
+    _, pool = dataset
+    _, untraced = run(sharded, pool)
+    traced_service, traced = run(
+        sharded, pool, tracer=SpanTracer(), metrics_interval_ns=100_000.0
+    )
+    assert dataclasses.asdict(untraced) == dataclasses.asdict(traced)
+    # The traced run really did record and sample.
+    assert len(traced_service.tracer.spans) == traced.completed
+    assert traced_service.timeline is not None
+    assert traced_service.timeline.samples
+
+
+def test_timeline_and_event_counts_are_seed_deterministic(sharded, dataset):
+    _, pool = dataset
+    service_a, _ = run(sharded, pool, metrics_interval_ns=50_000.0)
+    service_b, _ = run(sharded, pool, metrics_interval_ns=50_000.0)
+    assert service_a.timeline.samples == service_b.timeline.samples
+    assert service_a.loop_profile.event_counts() == service_b.loop_profile.event_counts()
+
+
+def test_traced_spans_cover_every_completed_query(sharded, dataset):
+    _, pool = dataset
+    tracer = SpanTracer()
+    service, report = run(sharded, pool, tracer=tracer)
+    spans = tracer.completed_spans()
+    assert [span.query_id for span in spans] == sorted(service.answers)
+    for span in spans:
+        record = next(
+            r for r in service.stats.records if r.query_id == span.query_id
+        )
+        assert span.admit_ns == record.arrival_ns
+        assert span.finish_ns == record.finish_ns

@@ -1,0 +1,139 @@
+"""Tests for repro.obs.metrics."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeline,
+)
+
+# -- counters and gauges ------------------------------------------------------
+
+
+def test_counter_accumulates_and_rejects_negative():
+    counter = Counter()
+    counter.inc()
+    counter.inc(4.0)
+    assert counter.value == 5.0
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+    assert counter.as_dict() == {"type": "counter", "value": 5.0}
+
+
+def test_gauge_holds_last_value():
+    gauge = Gauge()
+    gauge.set(3)
+    gauge.set(1.5)
+    assert gauge.value == 1.5
+    assert gauge.as_dict()["type"] == "gauge"
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def test_histogram_buckets_are_inclusive_upper_bounds():
+    hist = Histogram([10.0, 20.0])
+    for value in (5.0, 10.0, 10.5, 25.0):
+        hist.observe(value)
+    # 5.0 and 10.0 land in the first bucket, 10.5 in the second,
+    # 25.0 in the overflow.
+    assert hist.counts == [2, 1, 1]
+    assert hist.total == 4
+    assert hist.sum == pytest.approx(50.5)
+
+
+def test_histogram_quantile_returns_bucket_bound():
+    hist = Histogram([10.0, 20.0, 40.0])
+    for value in [1.0] * 50 + [15.0] * 40 + [30.0] * 9 + [99.0]:
+        hist.observe(value)
+    assert hist.quantile(0.5) == 10.0
+    assert hist.quantile(0.9) == 20.0
+    assert hist.quantile(0.99) == 40.0
+    assert hist.quantile(1.0) == float("inf")
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        Histogram([])
+    with pytest.raises(ValueError):
+        Histogram([10.0, 10.0])
+    with pytest.raises(ValueError):
+        Histogram([20.0, 10.0])
+    hist = Histogram([1.0])
+    with pytest.raises(ValueError):
+        hist.quantile(0.5)  # no samples
+    hist.observe(0.5)
+    with pytest.raises(ValueError):
+        hist.quantile(0.0)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_default_latency_buckets_are_increasing():
+    assert all(a < b for a, b in zip(LATENCY_BUCKETS_NS, LATENCY_BUCKETS_NS[1:]))
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_registry_get_or_create_returns_same_instance():
+    registry = MetricsRegistry()
+    assert registry.counter("a") is registry.counter("a")
+    assert registry.gauge("b") is registry.gauge("b")
+    assert registry.histogram("c") is registry.histogram("c")
+    assert "a" in registry
+    assert "missing" not in registry
+
+
+def test_registry_rejects_kind_mismatch():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+    with pytest.raises(TypeError):
+        registry.histogram("x")
+
+
+def test_registry_snapshot_is_sorted_and_plain():
+    registry = MetricsRegistry()
+    registry.gauge("zeta").set(1.0)
+    registry.counter("alpha").inc(2.0)
+    snapshot = registry.snapshot()
+    assert list(snapshot) == ["alpha", "zeta"]
+    assert snapshot["alpha"] == {"type": "counter", "value": 2.0}
+
+
+# -- timeline -----------------------------------------------------------------
+
+
+def test_timeline_emits_one_row_per_elapsed_interval():
+    timeline = Timeline(interval_ns=100.0)
+    state = {"n": 0}
+
+    def sample(t_ns):
+        state["n"] += 1
+        return {"n": state["n"]}
+
+    timeline.advance(50.0, sample)
+    assert timeline.samples == []
+    timeline.advance(350.0, sample)
+    assert [row["t_ns"] for row in timeline.samples] == [100.0, 200.0, 300.0]
+    assert [row["n"] for row in timeline.samples] == [1, 2, 3]
+
+
+def test_timeline_due_times_are_exact_multiples():
+    timeline = Timeline(interval_ns=7.5)
+    timeline.advance(40.0, lambda t: {})
+    assert [row["t_ns"] for row in timeline.samples] == [7.5, 15.0, 22.5, 30.0, 37.5]
+    assert timeline.as_dict()["interval_ns"] == 7.5
+
+
+def test_timeline_rejects_nonpositive_interval():
+    with pytest.raises(ValueError):
+        Timeline(0.0)
+    with pytest.raises(ValueError):
+        Timeline(-5.0)

@@ -1,0 +1,90 @@
+"""Tests for repro.obs.report — trace loading, waterfall, tail table."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.params import E2LSHParams
+from repro.obs.report import load_trace, render_report, tail_attribution, waterfall
+from repro.obs.trace import SpanTracer
+from repro.serving.loadgen import OpenLoopWorkload
+from repro.serving.replication import RoutingConfig
+from repro.serving.service import QueryService
+from repro.serving.sharding import ShardedIndex
+
+K = 3
+
+
+@pytest.fixture(scope="module")
+def traced_trace_path(tmp_path_factory):
+    rng = np.random.default_rng(13)
+    data = rng.standard_normal((300, 16)).astype(np.float32)
+    pool = rng.standard_normal((12, 16)).astype(np.float32)
+    sharded = ShardedIndex.build(
+        data, E2LSHParams(n=300), n_shards=2, scheme="hash", seed=13, replicas=2
+    )
+    tracer = SpanTracer()
+    service = QueryService(
+        sharded, routing=RoutingConfig(policy="hedged"), tracer=tracer
+    )
+    service.run_open_loop(
+        pool, OpenLoopWorkload(qps=50_000.0, n_queries=40, seed=2), k=K
+    )
+    path = tmp_path_factory.mktemp("trace") / "trace.json"
+    tracer.write(path)
+    return path
+
+
+def test_load_trace_round_trips_the_spans_payload(traced_trace_path):
+    spans = load_trace(str(traced_trace_path))
+    assert spans["schema"] == "repro-trace/1"
+    assert len(spans["queries"]) == 40
+    for query in spans["queries"]:
+        attribution = query["attribution"]
+        parts = sum(
+            attribution[c]
+            for c in ("batch_ns", "queue_ns", "hash_ns", "io_ns", "hedge_ns", "other_ns")
+        )
+        assert parts == pytest.approx(query["latency_ns"], rel=1e-9)
+
+
+def test_load_trace_rejects_non_trace_json(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(ValueError):
+        load_trace(str(path))
+
+
+def test_tail_attribution_lists_slowest_first(traced_trace_path):
+    spans = load_trace(str(traced_trace_path))
+    text = tail_attribution(spans, pct=50.0, top=3)
+    lines = [line for line in text.splitlines() if line.strip() and line.lstrip()[0].isdigit()]
+    assert len(lines) == 3
+    by_latency = sorted(spans["queries"], key=lambda q: -q["latency_ns"])
+    assert lines[0].split()[0] == str(by_latency[0]["query_id"])
+    assert "tail time share" in text
+
+
+def test_tail_attribution_empty_trace():
+    assert "no completed queries" in tail_attribution({"queries": []})
+
+
+def test_waterfall_draws_each_attempt(traced_trace_path):
+    spans = load_trace(str(traced_trace_path))
+    query = max(spans["queries"], key=lambda q: q["latency_ns"])
+    art = waterfall(query, width=40)
+    n_attempts = sum(len(sub["attempts"]) for sub in query["subqueries"])
+    bars = [line for line in art.splitlines() if "|" in line]
+    assert len(bars) == n_attempts
+    assert "#" in art  # someone ran on an engine
+    assert "legend" in art
+
+
+def test_render_report_combines_summary_waterfall_and_table(traced_trace_path):
+    spans = load_trace(str(traced_trace_path))
+    text = render_report(spans, pct=90.0, top=4)
+    assert "40 traced queries" in text
+    assert "p99" in text
+    assert "tail attribution" in text
+    assert render_report({"queries": []}) == "trace holds no completed queries"

@@ -1,0 +1,228 @@
+"""Tests for repro.obs.trace — span recording and latency attribution."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.trace import NULL_TRACER, SpanTracer, Tracer, attribute
+from repro.storage.engine import Completion, TaskProfile
+
+
+def completion(tag, finish_ns, start_ns, compute_ns=0.0, io_cpu_ns=0.0, io_wait_ns=0.0, io_count=0):
+    return Completion(
+        index=0,
+        tag=tag,
+        result=None,
+        finish_ns=finish_ns,
+        profile=TaskProfile(
+            start_ns=start_ns,
+            compute_ns=compute_ns,
+            io_cpu_ns=io_cpu_ns,
+            io_wait_ns=io_wait_ns,
+            io_count=io_count,
+        ),
+    )
+
+
+def primary_win_tracer():
+    """One query, one shard, primary wins: admit 100, finish 1100."""
+    tracer = SpanTracer()
+    tracer.attempt_enqueued(7, shard=0, replica=0, hedge=False, now_ns=100.0)
+    tracer.query_admitted(7, now_ns=100.0)
+    tracer.attempt_flushed(7, shard=0, replica=0, now_ns=150.0)
+    tracer.attempt_finished(
+        7,
+        shard=0,
+        replica=0,
+        completion=completion(
+            7, finish_ns=1100.0, start_ns=200.0, compute_ns=300.0,
+            io_cpu_ns=100.0, io_wait_ns=500.0, io_count=4,
+        ),
+        winner=True,
+    )
+    tracer.query_completed(7, finish_ns=1100.0)
+    return tracer
+
+
+# -- the no-op tracer ---------------------------------------------------------
+
+
+def test_null_tracer_is_disabled_and_inert():
+    assert NULL_TRACER.enabled is False
+    assert isinstance(NULL_TRACER, Tracer)
+    # Every hook is a harmless stub.
+    NULL_TRACER.query_admitted(1, 0.0)
+    NULL_TRACER.query_rejected(1, 0.0)
+    NULL_TRACER.query_completed(1, 0.0)
+    NULL_TRACER.attempt_enqueued(1, 0, 0, False, 0.0)
+    NULL_TRACER.attempt_flushed(1, 0, 0, 0.0)
+    NULL_TRACER.attempt_cancelled(1, 0, 0, 0.0)
+    NULL_TRACER.hedge_armed(1, 0, 0.0)
+    NULL_TRACER.hedge_fired(1, 0, 1, 0.0)
+    NULL_TRACER.hedge_disarmed(1, 0, 0.0)
+    NULL_TRACER.hedge_suppressed(1, 0, 0.0)
+
+
+# -- span recording -----------------------------------------------------------
+
+
+def test_span_tree_records_milestones():
+    tracer = primary_win_tracer()
+    (span,) = tracer.completed_spans()
+    assert span.query_id == 7
+    assert span.latency_ns == pytest.approx(1000.0)
+    sub = span.subqueries[0]
+    assert sub.winner == 0
+    attempt = sub.attempts[0]
+    assert (attempt.enqueue_ns, attempt.flush_ns) == (100.0, 150.0)
+    assert (attempt.start_ns, attempt.finish_ns) == (200.0, 1100.0)
+    assert attempt.outcome == "win"
+    assert attempt.io_count == 4
+
+
+def test_incomplete_query_is_excluded_from_completed_spans():
+    tracer = SpanTracer()
+    tracer.attempt_enqueued(1, shard=0, replica=0, hedge=False, now_ns=0.0)
+    tracer.query_admitted(1, now_ns=0.0)
+    assert tracer.completed_spans() == []
+
+
+def test_rejections_are_counted_not_spanned():
+    tracer = SpanTracer()
+    tracer.query_rejected(3, now_ns=50.0)
+    assert tracer.rejected == [(3, 50.0)]
+    assert 3 not in tracer.spans
+
+
+# -- attribution --------------------------------------------------------------
+
+
+def test_attribution_sums_exactly_to_latency():
+    (attribution,) = primary_win_tracer().attributions()
+    assert attribution.batch_ns == pytest.approx(50.0)   # 100 -> 150
+    assert attribution.queue_ns == pytest.approx(50.0)   # 150 -> 200
+    assert attribution.hash_ns == pytest.approx(300.0)
+    assert attribution.io_ns == pytest.approx(600.0)
+    assert attribution.hedge_ns == 0.0
+    assert attribution.other_ns == 0.0
+    parts = (
+        attribution.batch_ns + attribution.queue_ns + attribution.hash_ns
+        + attribution.io_ns + attribution.hedge_ns + attribution.other_ns
+    )
+    assert parts == pytest.approx(attribution.latency_ns)
+    assert not attribution.hedge_won
+    assert attribution.tail_shard == 0
+
+
+def test_attribution_charges_hedge_wait_when_duplicate_wins():
+    tracer = SpanTracer()
+    tracer.attempt_enqueued(2, shard=0, replica=0, hedge=False, now_ns=0.0)
+    tracer.query_admitted(2, now_ns=0.0)
+    tracer.hedge_armed(2, shard=0, deadline_ns=400.0)
+    tracer.attempt_flushed(2, shard=0, replica=0, now_ns=10.0)
+    tracer.hedge_fired(2, shard=0, replica=1, now_ns=400.0)
+    tracer.attempt_enqueued(2, shard=0, replica=1, hedge=True, now_ns=400.0)
+    tracer.attempt_flushed(2, shard=0, replica=1, now_ns=420.0)
+    # The duplicate answers first; the slow primary straggles in after.
+    tracer.attempt_finished(
+        2, shard=0, replica=1,
+        completion=completion(2, finish_ns=900.0, start_ns=450.0, compute_ns=100.0,
+                              io_cpu_ns=50.0, io_wait_ns=300.0),
+        winner=True,
+    )
+    tracer.query_completed(2, finish_ns=900.0)
+    tracer.attempt_finished(
+        2, shard=0, replica=0,
+        completion=completion(2, finish_ns=2000.0, start_ns=20.0),
+        winner=False,
+    )
+    (attribution,) = tracer.attributions()
+    assert attribution.hedge_won
+    assert attribution.hedge_ns == pytest.approx(400.0)  # admit -> duplicate enqueue
+    assert attribution.batch_ns == pytest.approx(20.0)
+    assert attribution.queue_ns == pytest.approx(30.0)
+    assert attribution.other_ns == 0.0
+    sub = tracer.spans[2].subqueries[0]
+    assert sub.attempts[sub.winner].hedge
+    assert sub.attempt_for(0).outcome == "loss"
+
+
+def test_attribution_picks_the_last_finishing_shard():
+    tracer = SpanTracer()
+    for shard, finish in ((0, 500.0), (1, 1500.0)):
+        tracer.attempt_enqueued(4, shard=shard, replica=0, hedge=False, now_ns=0.0)
+        tracer.attempt_flushed(4, shard=shard, replica=0, now_ns=5.0)
+    tracer.query_admitted(4, now_ns=0.0)
+    for shard, finish in ((0, 500.0), (1, 1500.0)):
+        tracer.attempt_finished(
+            4, shard=shard, replica=0,
+            completion=completion(4, finish_ns=finish, start_ns=10.0),
+            winner=True,
+        )
+    tracer.query_completed(4, finish_ns=1500.0)
+    (attribution,) = tracer.attributions()
+    assert attribution.tail_shard == 1
+
+
+def test_attribution_requires_a_completed_subquery():
+    tracer = SpanTracer()
+    tracer.query_admitted(9, now_ns=0.0)
+    tracer.query_completed(9, finish_ns=10.0)
+    with pytest.raises(ValueError):
+        attribute(tracer.spans[9])
+
+
+def test_attempt_for_unknown_replica_raises():
+    tracer = primary_win_tracer()
+    with pytest.raises(KeyError):
+        tracer.spans[7].subqueries[0].attempt_for(5)
+
+
+# -- export -------------------------------------------------------------------
+
+
+def test_spans_payload_is_strict_json_without_nan():
+    tracer = SpanTracer()
+    tracer.attempt_enqueued(1, shard=0, replica=0, hedge=False, now_ns=0.0)
+    tracer.query_admitted(1, now_ns=0.0)
+    tracer.attempt_flushed(1, shard=0, replica=0, now_ns=5.0)
+    tracer.attempt_finished(
+        1, shard=0, replica=0,
+        completion=completion(1, finish_ns=100.0, start_ns=10.0), winner=True,
+    )
+    # A cancelled hedge loser leaves flush/start/finish as NaN.
+    tracer.attempt_enqueued(1, shard=0, replica=1, hedge=True, now_ns=50.0)
+    tracer.attempt_cancelled(1, shard=0, replica=1, now_ns=60.0)
+    tracer.query_completed(1, finish_ns=100.0)
+    encoded = json.dumps(tracer.spans_payload(), allow_nan=False)  # must not raise
+    loser = json.loads(encoded)["queries"][0]["subqueries"][0]["attempts"][1]
+    assert loser["outcome"] == "cancelled"
+    assert loser["flush_ns"] is None
+    assert loser["cancel_ns"] == 60.0
+
+
+def test_chrome_trace_events_are_balanced_and_typed():
+    tracer = primary_win_tracer()
+    trace = tracer.chrome_trace()
+    json.dumps(trace, allow_nan=False)  # strict JSON
+    events = trace["traceEvents"]
+    opens = [e for e in events if e["ph"] == "b"]
+    closes = [e for e in events if e["ph"] == "e"]
+    slices = [e for e in events if e["ph"] == "X"]
+    assert len(opens) == len(closes) == 1
+    assert opens[0]["id"] == closes[0]["id"]
+    (attempt_slice,) = slices
+    # Timestamps are microseconds: start 200 ns -> 0.2 us, dur 900 ns.
+    assert attempt_slice["ts"] == pytest.approx(0.2)
+    assert attempt_slice["dur"] == pytest.approx(0.9)
+    assert attempt_slice["pid"] == 1  # shard 0 renders as process 1
+    assert trace["spans"]["queries"][0]["query_id"] == 7
+
+
+def test_write_is_deterministic(tmp_path):
+    path_a, path_b = tmp_path / "a.json", tmp_path / "b.json"
+    primary_win_tracer().write(path_a)
+    primary_win_tracer().write(path_b)
+    assert path_a.read_bytes() == path_b.read_bytes()
+    assert math.isnan(TaskProfile().start_ns)  # default sentinel intact

@@ -166,3 +166,78 @@ def test_hedge_free_run_reports_quiet_ledger():
     assert report.hedges_armed == 0
     assert report.hedge_fraction == 0.0
     assert "hedges" not in report.describe()
+
+
+# -- zero-completion and rejection-only runs ---------------------------------
+
+
+def test_rejection_only_run_reports_instead_of_raising():
+    stats = ServiceStats()
+    for _ in range(5):
+        stats.record_rejection()
+    stats.queue_depth_samples.extend([2, 4])
+    report = stats.report([engine_result(io_count=3), engine_result()])
+    assert report.completed == 0
+    assert report.rejected == 5
+    assert report.offered == 5
+    assert report.throughput_qps == 0.0
+    assert report.p99_ns == 0.0
+    assert report.max_queue_depth == 4
+    assert report.shard_io_counts == (3, 0)
+    assert report.mean_ios_per_query == 0.0
+    assert report.hedge_fraction == 0.0
+    assert "rejected 5" in report.describe()
+
+
+def test_rejection_only_run_keeps_hedge_ledger():
+    stats = ServiceStats()
+    stats.record_rejection()
+    stats.hedges_armed = 2
+    stats.hedges_suppressed = 2
+    report = stats.report([engine_result()])
+    assert report.hedges_armed == 2
+    assert "suppressed 2" in report.describe()
+
+
+# -- describe() enrichment ----------------------------------------------------
+
+
+def test_describe_shows_active_fraction_for_single_copy():
+    stats = filled_stats([1.0, 2.0])
+    report = stats.report([engine_result(io_count=10)])
+    # No I/O completed in these synthetic results -> active 0%.
+    assert "active 0%" in report.describe()
+    assert "replicas" not in report.describe()
+
+
+def test_describe_hedge_line_includes_suppressed_and_rate():
+    stats = filled_stats([1.0, 2.0])
+    stats.hedges_armed = 4
+    stats.hedges_issued = 1
+    stats.hedges_suppressed = 3
+    text = stats.report([engine_result()]).describe()
+    assert "suppressed 3" in text
+    assert "duplicate rate" in text
+
+
+def test_describe_handles_reports_without_active_fractions():
+    from repro.serving.stats import ServiceReport
+
+    report = ServiceReport(
+        completed=1,
+        rejected=0,
+        duration_ns=1.0,
+        throughput_qps=1.0,
+        mean_latency_ns=1.0,
+        p50_ns=1.0,
+        p95_ns=1.0,
+        p99_ns=1.0,
+        max_latency_ns=1.0,
+        mean_queue_depth=0.0,
+        max_queue_depth=0,
+        mean_batch_size=0.0,
+        shard_iops=(1.0,),
+        shard_io_counts=(1,),
+    )
+    # Pre-replica-fields reports (defaulted tuples) must still describe.
+    assert "active" not in report.describe()

@@ -278,3 +278,53 @@ def test_session_sync_interface_blocks_inline():
     completions = session.drain()
     assert completions[0].finish_ns >= DEVICE_PROFILES["cssd"].latency_ns
     assert session.stall_ns > 0
+
+
+# -- per-task profiling -------------------------------------------------------
+
+
+def test_profiles_are_off_by_default():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(10.0))
+    (completion,) = session.drain()
+    assert completion.profile is None
+
+
+def test_profile_accounts_task_time_exactly():
+    """finish - start == compute + io_cpu + io_wait, per task."""
+    engine, _ = make_engine()
+    session = engine.session(profile_tasks=True)
+
+    def task():
+        yield Compute(500.0)
+        yield Read(0, 512)
+        yield ReadBatch([(512, 512), (1024, 512)])
+        return None
+
+    session.submit(task())
+    (completion,) = session.drain()
+    profile = completion.profile
+    assert profile is not None
+    assert profile.compute_ns == pytest.approx(500.0)
+    assert profile.io_count == 3
+    assert profile.io_cpu_ns > 0
+    assert profile.io_wait_ns > 0
+    accounted = profile.compute_ns + profile.io_cpu_ns + profile.io_wait_ns
+    assert completion.finish_ns - profile.start_ns == pytest.approx(accounted)
+
+
+def test_profile_start_is_first_run_not_submission():
+    engine, _ = make_engine()
+    session = engine.session(profile_tasks=True)
+    session.submit(compute_task(10.0), ready_ns=5_000.0)
+    (completion,) = session.drain()
+    assert completion.profile.start_ns == pytest.approx(5_000.0)
+
+
+def test_profile_sync_interface_charges_stall_as_io_wait():
+    engine, _ = make_engine(interface=INTERFACE_PROFILES["mmap_sync"])
+    session = engine.session(profile_tasks=True)
+    session.submit(reader_task([0]))
+    (completion,) = session.drain()
+    assert completion.profile.io_wait_ns >= DEVICE_PROFILES["cssd"].latency_ns * 0.5
