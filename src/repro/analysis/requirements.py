@@ -28,6 +28,7 @@ __all__ = [
     "inmemory_cpu_requirement_scale",
     "CapacityPlan",
     "plan_capacity",
+    "plan_capacity_for_scenario",
 ]
 
 #: Sec. 4.5: in-memory E2LSH spends ~10% of its time on footprint stalls,
@@ -281,4 +282,42 @@ def plan_capacity(
         latency_floor_ns=latency_floor_ns,
         replicas=replicas,
         hedge_fraction=hedge_fraction,
+    )
+
+
+def plan_capacity_for_scenario(
+    spec,
+    report,
+    *,
+    latency_floor_ns: float = 0.0,
+    utilization_cap: float = DEFAULT_UTILIZATION_CAP,
+) -> CapacityPlan:
+    """:func:`plan_capacity` fed directly from a scenario run.
+
+    ``spec`` is a :class:`~repro.serving.scenario.ScenarioSpec` and
+    ``report`` the :class:`~repro.serving.stats.ServiceReport` of its
+    run — the same objects the ``scenarios``/``loadtest`` CLI holds, so
+    planning needs no parallel kwarg plumbing.  The rate to plan for is
+    the workload's *peak* offered rate (open loop — a diurnal crest or
+    flash burst must be absorbed, not the mean) or the throughput the
+    fleet proved it can sustain (closed loop).  The measured IO/query is
+    deflated by the observed hedge fraction so the plan's hedge term
+    re-adds duplicates without double counting.
+    """
+    from repro.storage.profiles import DEVICE_PROFILES
+
+    workload = spec.workload
+    target_qps = (
+        workload.peak_qps if workload.mode == "open" else report.throughput_qps
+    )
+    return plan_capacity(
+        n_io_per_query=report.mean_ios_per_query / (1.0 + report.hedge_fraction),
+        target_qps=target_qps,
+        target_p99_ns=spec.target_p99_ms * 1e6,
+        device_max_iops=DEVICE_PROFILES[spec.serving.device].max_iops,
+        devices_per_shard=spec.serving.devices_per_shard,
+        utilization_cap=utilization_cap,
+        latency_floor_ns=latency_floor_ns,
+        replicas=spec.serving.replicas,
+        hedge_fraction=report.hedge_fraction,
     )

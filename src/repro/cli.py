@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.analysis.cost_model import required_iops, required_request_rate
 from repro.analysis.machine_model import DEFAULT_MACHINE
-from repro.analysis.requirements import average_n_io, plan_capacity
+from repro.analysis.requirements import average_n_io, plan_capacity_for_scenario
 from repro.core.e2lsh import E2LSHIndex
 from repro.core.e2lshos import E2LSHoSIndex
 from repro.core.params import E2LSHParams
@@ -35,11 +35,11 @@ from repro.eval.ratio import overall_ratio
 from repro.io.persistence import load_index, save_index
 from repro.obs.report import load_trace, render_report
 from repro.obs.trace import SpanTracer
-from repro.serving.dispatcher import DispatchConfig
-from repro.serving.loadgen import ClosedLoopWorkload, OpenLoopWorkload
-from repro.serving.replication import ROUTING_POLICIES, FaultSpec, RoutingConfig
-from repro.serving.service import QueryService
-from repro.serving.sharding import PARTITION_SCHEMES, ShardedIndex
+from repro.serving.catalog import CATALOG_NAMES, build_scenario, catalog
+from repro.serving.config import DataConfig, FaultTimeline, ServingConfig, WorkloadSpec
+from repro.serving.replication import ROUTING_POLICIES, FaultSpec
+from repro.serving.scenario import ScenarioResult, ScenarioSpec, run_scenario
+from repro.serving.sharding import PARTITION_SCHEMES
 from repro.storage.blockstore import FileBlockStore
 from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES, make_engine
 from repro.utils.units import NS_PER_MS, NS_PER_US, format_bytes, format_iops, format_time
@@ -99,26 +99,49 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest = sub.add_parser(
         "loadtest", help="drive a sharded query service and report latency SLOs"
     )
-    common(loadtest, dataset_default="sift", n_default=4_000, queries_default=32)
-    loadtest.add_argument("-k", type=int, default=10)
-    loadtest.add_argument("--shards", type=int, default=1)
-    loadtest.add_argument("--scheme", choices=PARTITION_SCHEMES, default="hash")
-    loadtest.add_argument("--device", choices=sorted(DEVICE_PROFILES), default="cssd")
-    loadtest.add_argument("--devices-per-shard", type=int, default=1)
+    # Flag defaults come from the config dataclasses (one source of truth):
+    # the `loadtest` command is a thin adapter that builds a ScenarioSpec.
+    common(
+        loadtest,
+        dataset_default=DataConfig.dataset,
+        n_default=DataConfig.n,
+        queries_default=DataConfig.pool_queries,
+    )
+    loadtest.add_argument("-k", type=int, default=ScenarioSpec.k)
+    loadtest.add_argument("--shards", type=int, default=ServingConfig.n_shards)
+    loadtest.add_argument(
+        "--scheme", choices=PARTITION_SCHEMES, default=ServingConfig.scheme
+    )
+    loadtest.add_argument(
+        "--device", choices=sorted(DEVICE_PROFILES), default=ServingConfig.device
+    )
+    loadtest.add_argument(
+        "--devices-per-shard", type=int, default=ServingConfig.devices_per_shard
+    )
     loadtest.add_argument(
         "--interface",
         choices=[n for n, p in INTERFACE_PROFILES.items() if not p.synchronous],
-        default="io_uring",
+        default=ServingConfig.interface,
     )
-    loadtest.add_argument("--workers", type=int, default=1, help="CPU workers per shard")
     loadtest.add_argument(
-        "--replicas", type=int, default=1, help="copies of each shard (R)"
+        "--workers",
+        type=int,
+        default=ServingConfig.workers_per_shard,
+        help="CPU workers per shard",
     )
-    loadtest.add_argument("--routing", choices=ROUTING_POLICIES, default="round_robin")
+    loadtest.add_argument(
+        "--replicas",
+        type=int,
+        default=ServingConfig.replicas,
+        help="copies of each shard (R)",
+    )
+    loadtest.add_argument(
+        "--routing", choices=ROUTING_POLICIES, default=ServingConfig.routing
+    )
     loadtest.add_argument(
         "--hedge-delay-us",
         type=float,
-        default=None,
+        default=ServingConfig.hedge_delay_us,
         help="explicit hedge delay; default adapts to the observed sub-query p50",
     )
     loadtest.add_argument(
@@ -129,19 +152,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="degrade a replica by a latency multiplier, optionally with "
         "intermittent stalls; repeatable",
     )
-    loadtest.add_argument("--mode", choices=("open", "closed"), default="open")
-    loadtest.add_argument("--qps", type=float, default=2_000.0, help="open-loop rate")
-    loadtest.add_argument("--arrivals", choices=("poisson", "uniform"), default="poisson")
+    loadtest.add_argument("--mode", choices=("open", "closed"), default=WorkloadSpec.mode)
     loadtest.add_argument(
-        "--concurrency", type=int, default=16, help="closed-loop client count"
+        "--qps", type=float, default=WorkloadSpec.qps, help="open-loop rate"
     )
-    loadtest.add_argument("--requests", type=int, default=256, help="total queries")
-    loadtest.add_argument("--zipf", type=float, default=0.0, help="query reuse skew")
-    loadtest.add_argument("--batch", type=int, default=8, help="micro-batch size")
-    loadtest.add_argument("--batch-delay-us", type=float, default=50.0)
-    loadtest.add_argument("--queue-capacity", type=int, default=512)
     loadtest.add_argument(
-        "--target-p99-ms", type=float, default=2.0, help="SLO for the capacity plan"
+        "--arrivals", choices=("poisson", "uniform"), default=WorkloadSpec.shape
+    )
+    loadtest.add_argument(
+        "--concurrency",
+        type=int,
+        default=WorkloadSpec.concurrency,
+        help="closed-loop client count",
+    )
+    loadtest.add_argument(
+        "--requests", type=int, default=WorkloadSpec.requests, help="total queries"
+    )
+    loadtest.add_argument(
+        "--zipf", type=float, default=WorkloadSpec.zipf_s, help="query reuse skew"
+    )
+    loadtest.add_argument(
+        "--batch", type=int, default=ServingConfig.max_batch, help="micro-batch size"
+    )
+    loadtest.add_argument(
+        "--batch-delay-us", type=float, default=ServingConfig.batch_delay_us
+    )
+    loadtest.add_argument(
+        "--queue-capacity", type=int, default=ServingConfig.queue_capacity
+    )
+    loadtest.add_argument(
+        "--target-p99-ms",
+        type=float,
+        default=ScenarioSpec.target_p99_ms,
+        help="SLO for the capacity plan",
     )
     loadtest.add_argument(
         "--trace",
@@ -162,6 +205,42 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=100.0,
         help="simulated-time sampling period of the metrics timeline",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the committed scenario catalog (or named/JSON scenarios) "
+        "and emit one SLO report per scenario",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", help="list catalog scenarios and exit"
+    )
+    scenarios.add_argument(
+        "--name",
+        action="append",
+        default=[],
+        metavar="SCENARIO",
+        help="run one catalog scenario by name; repeatable "
+        f"(catalog: {', '.join(CATALOG_NAMES)})",
+    )
+    scenarios.add_argument(
+        "--spec",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="run a scenario from a JSON spec file "
+        "(the format ScenarioSpec.to_dict() writes); repeatable",
+    )
+    scenarios.add_argument(
+        "--quick",
+        action="store_true",
+        help="catalog scenarios at the small CI-smoke scale",
+    )
+    scenarios.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write one <scenario>.json SLO report per scenario into DIR",
     )
 
     report = sub.add_parser(
@@ -289,84 +368,102 @@ def _parse_fault(spec: str) -> FaultSpec:
         raise SystemExit(f"error: bad --fault {spec!r}: {error}") from error
 
 
-def _cmd_loadtest(args: argparse.Namespace, out) -> int:
-    dataset = load_dataset(args.dataset, n=args.n, n_queries=args.queries, seed=args.seed)
-    params = _params(args, dataset.n)
-    faults = tuple(_parse_fault(spec) for spec in args.fault)
-    for fault in faults:
-        if fault.shard >= args.shards or fault.replica >= args.replicas:
-            raise SystemExit(
-                f"error: --fault targets shard {fault.shard} replica "
-                f"{fault.replica}, but the deployment is {args.shards} shard(s) "
-                f"x {args.replicas} replica(s)"
-            )
+def _scenario_from_loadtest(args: argparse.Namespace) -> ScenarioSpec:
+    """Adapt the legacy ``loadtest`` flag set into a :class:`ScenarioSpec`.
+
+    The flags stay backward compatible; validation lives in the config
+    dataclasses, whose errors surface as the CLI's usual ``SystemExit``.
+    """
     if args.hedge_delay_us is not None and args.routing != "hedged":
         raise SystemExit(
             f"error: --hedge-delay-us only applies to --routing hedged "
             f"(got --routing {args.routing})"
         )
-    hedge_delay_ns = (
-        args.hedge_delay_us * NS_PER_US if args.hedge_delay_us is not None else None
-    )
-    sharded = ShardedIndex.build(
-        dataset.data,
-        params,
-        n_shards=args.shards,
-        scheme=args.scheme,
-        device=args.device,
-        devices_per_shard=args.devices_per_shard,
-        interface=args.interface,
-        seed=args.seed,
-        replicas=args.replicas,
-        faults=faults,
-    )
-    tracer = SpanTracer() if args.trace else None
-    service = QueryService(
-        sharded,
-        dispatch=DispatchConfig(
-            max_batch=args.batch,
-            max_delay_ns=args.batch_delay_us * NS_PER_US,
-            queue_capacity=args.queue_capacity,
-        ),
-        routing=RoutingConfig(policy=args.routing, hedge_delay_ns=hedge_delay_ns),
-        workers_per_shard=args.workers,
-        tracer=tracer,
-        metrics_interval_ns=(
-            args.metrics_interval_us * NS_PER_US if args.metrics_out else None
-        ),
-    )
-    if args.mode == "open":
-        workload = OpenLoopWorkload(
-            qps=args.qps,
-            n_queries=args.requests,
-            arrivals=args.arrivals,
-            zipf_s=args.zipf,
+    faults = tuple(_parse_fault(spec) for spec in args.fault)
+    try:
+        return ScenarioSpec(
+            name="loadtest",
+            data=DataConfig(
+                dataset=args.dataset,
+                n=args.n,
+                pool_queries=args.queries,
+                gamma=args.gamma,
+                s_factor=args.s_factor,
+                rho=args.rho,
+            ),
+            serving=ServingConfig(
+                n_shards=args.shards,
+                scheme=args.scheme,
+                device=args.device,
+                devices_per_shard=args.devices_per_shard,
+                interface=args.interface,
+                workers_per_shard=args.workers,
+                replicas=args.replicas,
+                routing=args.routing,
+                hedge_delay_us=args.hedge_delay_us,
+                max_batch=args.batch,
+                batch_delay_us=args.batch_delay_us,
+                queue_capacity=args.queue_capacity,
+            ),
+            workload=WorkloadSpec(
+                mode=args.mode,
+                requests=args.requests,
+                qps=args.qps,
+                # The legacy CLI ignores --arrivals in closed mode; the
+                # spec layer rejects the combination, so drop it here.
+                shape=args.arrivals if args.mode == "open" else "poisson",
+                zipf_s=args.zipf,
+                concurrency=args.concurrency,
+            ),
+            faults=FaultTimeline(events=faults),
             seed=args.seed,
+            k=args.k,
+            target_p99_ms=args.target_p99_ms,
         )
-        report = service.run_open_loop(dataset.queries, workload, k=args.k)
-        offered = f"offered {args.qps:,.0f} q/s ({args.arrivals})"
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _describe_deployment(spec: ScenarioSpec) -> str:
+    serving = spec.serving
+    workload = spec.workload
+    if workload.mode == "open":
+        shape = workload.shape if workload.shape != "poisson" else "poisson"
+        offered = f"offered {workload.qps:,.0f} q/s ({shape})"
     else:
-        workload = ClosedLoopWorkload(
-            concurrency=args.concurrency,
-            n_queries=args.requests,
-            zipf_s=args.zipf,
-            seed=args.seed,
-        )
-        report = service.run_closed_loop(dataset.queries, workload, k=args.k)
-        offered = f"closed loop, {args.concurrency} clients"
-    faulty = f", {len(faults)} fault(s)" if faults else ""
-    out.write(
-        f"{args.shards} shard(s) x {args.replicas} replica(s) ({args.scheme}, "
-        f"{args.routing}) on {args.device} x{args.devices_per_shard} "
-        f"({args.interface}), {offered}{faulty}\n"
+        offered = f"closed loop, {workload.concurrency} clients"
+    faulty = f", {len(spec.faults)} fault(s)" if spec.faults else ""
+    return (
+        f"{serving.n_shards} shard(s) x {serving.replicas} replica(s) "
+        f"({serving.scheme}, {serving.routing}) on {serving.device} "
+        f"x{serving.devices_per_shard} ({serving.interface}), {offered}{faulty}"
     )
-    out.write(report.describe() + "\n")
-    profile = service.loop_profile
+
+
+def _write_run(result: ScenarioResult, out) -> None:
+    """The per-run body shared by ``loadtest`` and ``scenarios``."""
+    out.write(result.report.describe() + "\n")
+    profile = result.loop_profile
     out.write(
         f"simulator: {profile.events_total:,} loop events in "
         f"{profile.wall_seconds:.2f} s wall "
         f"({profile.events_per_sec:,.0f} events/s)\n"
     )
+
+
+def _cmd_loadtest(args: argparse.Namespace, out) -> int:
+    spec = _scenario_from_loadtest(args)
+    tracer = SpanTracer() if args.trace else None
+    result = run_scenario(
+        spec,
+        tracer=tracer,
+        metrics_interval_ns=(
+            args.metrics_interval_us * NS_PER_US if args.metrics_out else None
+        ),
+    )
+    report = result.report
+    out.write(_describe_deployment(spec) + "\n")
+    _write_run(result, out)
     if tracer is not None:
         tracer.write(args.trace)
         out.write(
@@ -374,29 +471,75 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         )
     if args.metrics_out:
         with open(args.metrics_out, "w") as handle:
-            json.dump(service.metrics_snapshot(), handle, indent=1, sort_keys=True)
+            json.dump(result.service.metrics_snapshot(), handle, indent=1, sort_keys=True)
             handle.write("\n")
         out.write(f"metrics -> {args.metrics_out}\n")
     if report.completed == 0:
         out.write("capacity plan: skipped (no completed queries)\n")
         return 0
-    # Plan for the offered rate (open loop) or the rate the fleet proved
-    # it can sustain (closed loop).  The fastest observed query is the
-    # closest available proxy for the light-load latency floor — unlike
-    # this run's p50/p99 it excludes queueing and batching delay.
-    # The measured IO/query already contains hedge duplicates; deflate it
-    # so the plan's hedge term re-adds them without double counting.
-    plan = plan_capacity(
-        n_io_per_query=report.mean_ios_per_query / (1.0 + report.hedge_fraction),
-        target_qps=args.qps if args.mode == "open" else report.throughput_qps,
-        target_p99_ns=args.target_p99_ms * NS_PER_MS,
-        device_max_iops=DEVICE_PROFILES[args.device].max_iops,
-        devices_per_shard=args.devices_per_shard,
-        latency_floor_ns=float(service.stats.latencies_ns().min()),
-        replicas=args.replicas,
-        hedge_fraction=report.hedge_fraction,
+    # Plan for the workload's peak offered rate (open loop) or the rate
+    # the fleet proved it can sustain (closed loop).  The fastest
+    # observed query is the closest available proxy for the light-load
+    # latency floor — unlike this run's p50/p99 it excludes queueing and
+    # batching delay.
+    plan = plan_capacity_for_scenario(
+        spec,
+        report,
+        latency_floor_ns=float(result.service.stats.latencies_ns().min()),
     )
     out.write(f"capacity plan: {plan.describe()}\n")
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace, out) -> int:
+    if args.list:
+        for name in CATALOG_NAMES:
+            spec = build_scenario(name, quick=True)
+            out.write(f"{name:22s} {spec.description}\n")
+        return 0
+    specs: list[ScenarioSpec] = []
+    try:
+        for name in args.name:
+            specs.append(build_scenario(name, quick=args.quick))
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+    for path in args.spec:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+            specs.append(ScenarioSpec.from_dict(payload))
+        except (OSError, ValueError, json.JSONDecodeError) as error:
+            raise SystemExit(f"error: bad scenario spec {path}: {error}") from error
+    if not specs:
+        specs = catalog(quick=args.quick)
+    out_dir = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    missed = 0
+    for spec in specs:
+        result = run_scenario(spec)
+        report = result.report
+        out.write(f"=== {spec.name} ===\n")
+        if spec.description:
+            out.write(f"{spec.description}\n")
+        out.write(_describe_deployment(spec) + "\n")
+        _write_run(result, out)
+        verdict = "met" if result.slo_met else "MISSED"
+        missed += 0 if result.slo_met else 1
+        out.write(
+            f"SLO: p99 {report.p99_ns / NS_PER_MS:.3f} ms vs target "
+            f"{spec.target_p99_ms:.3f} ms -> {verdict}\n"
+        )
+        if out_dir is not None:
+            path = out_dir / f"{spec.name}.json"
+            with open(path, "w") as handle:
+                json.dump(result.slo_dict(), handle, indent=1, sort_keys=True)
+                handle.write("\n")
+            out.write(f"report -> {path}\n")
+    if missed:
+        out.write(f"{missed}/{len(specs)} scenario(s) missed their SLO\n")
+    # SLO misses are findings, not failures: chaos entries are expected
+    # to hurt.  The exit code only signals broken runs.
     return 0
 
 
@@ -424,6 +567,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_analyze(args, out)
     if args.command == "loadtest":
         return _cmd_loadtest(args, out)
+    if args.command == "scenarios":
+        return _cmd_scenarios(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

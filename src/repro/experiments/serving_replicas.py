@@ -20,6 +20,9 @@ and the damage is attributable to routing, not raw capacity.  Because
 replicas are exact copies, every policy must return answers
 bit-identical to the single-copy deployment — replication and hedging
 may change *when* a query completes, never *what* it answers.
+
+Every measured deployment is a :class:`ScenarioSpec`; the built index is
+shared across the policy sweep via ``run_scenario(spec, index=...)``.
 """
 
 from __future__ import annotations
@@ -28,22 +31,31 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.params import E2LSHParams
-from repro.datasets.registry import DATASET_SPECS, load_dataset
 from repro.eval.ground_truth import GroundTruth, exact_knn
 from repro.eval.ratio import overall_ratio
 from repro.experiments.config import ExperimentScale
 from repro.serving import (
-    ClosedLoopWorkload,
+    DataConfig,
     FaultSpec,
-    OpenLoopWorkload,
-    QueryService,
-    RoutingConfig,
-    ShardedIndex,
+    FaultTimeline,
+    ScenarioIndex,
+    ScenarioResult,
+    ScenarioSpec,
+    ServingConfig,
+    WorkloadSpec,
+    build_scenario_index,
+    run_scenario,
 )
 from repro.utils.units import format_time
 
-__all__ = ["ReplicaRow", "run", "format_table", "POLICIES"]
+__all__ = [
+    "ReplicaRow",
+    "probe_spec",
+    "policy_spec",
+    "run",
+    "format_table",
+    "POLICIES",
+]
 
 K = 10
 N_SHARDS = 4
@@ -86,10 +98,61 @@ class ReplicaRow:
     wall_events_per_sec: float = 0.0
 
 
-def _collect_answers(service: QueryService) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+def _data(scale: ExperimentScale, dataset_name: str) -> DataConfig:
+    return DataConfig(dataset=dataset_name, n=scale.n, pool_queries=scale.n_queries)
+
+
+def probe_spec(scale: ExperimentScale, dataset_name: str) -> ScenarioSpec:
+    """Closed-loop saturation probe of the healthy single-copy fleet."""
+    return ScenarioSpec(
+        name="probe",
+        data=_data(scale, dataset_name),
+        serving=ServingConfig(n_shards=N_SHARDS, scheme=SCHEME),
+        workload=WorkloadSpec(
+            mode="closed", requests=PROBE_REQUESTS, concurrency=PROBE_CONCURRENCY
+        ),
+        seed=scale.seed,
+        k=K,
+    )
+
+
+def policy_spec(
+    scale: ExperimentScale,
+    dataset_name: str,
+    policy: str,
+    offered_qps: float,
+    faulty: bool = True,
+) -> ScenarioSpec:
+    """The open-loop measurement scenario for one routing policy."""
+    faults = (
+        FaultTimeline(
+            events=(
+                FaultSpec(shard=0, replica=1, latency_multiplier=FAULT_MULTIPLIER),
+            )
+        )
+        if faulty
+        else FaultTimeline()
+    )
+    return ScenarioSpec(
+        name=f"{'2-copy' if faulty else '1-copy'} {policy}",
+        data=_data(scale, dataset_name),
+        serving=ServingConfig(
+            n_shards=N_SHARDS,
+            scheme=SCHEME,
+            replicas=REPLICAS if faulty else 1,
+            routing=policy,
+        ),
+        workload=WorkloadSpec(requests=REQUESTS, qps=offered_qps),
+        faults=faults,
+        seed=scale.seed,
+        k=K,
+    )
+
+
+def _collect_answers(result: ScenarioResult) -> dict[int, tuple[np.ndarray, np.ndarray]]:
     return {
         query_id: (answer.ids, answer.distances)
-        for query_id, answer in service.answers.items()
+        for query_id, answer in result.answers.items()
     }
 
 
@@ -105,78 +168,67 @@ def _answers_equal(
     )
 
 
+def _measure(
+    spec: ScenarioSpec, index: ScenarioIndex, truth: GroundTruth, label: str
+) -> tuple[ReplicaRow, dict[int, tuple[np.ndarray, np.ndarray]]]:
+    result = run_scenario(spec, index=index)
+    report = result.report
+    records = sorted(result.records, key=lambda r: r.query_id)
+    answers = [result.answers[r.query_id].distances for r in records]
+    asked = np.array([r.pool_index for r in records])
+    ratio = overall_ratio(
+        answers,
+        GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]),
+        k=spec.k,
+    )
+    row = ReplicaRow(
+        label=label,
+        policy=spec.serving.routing,
+        replicas=index.sharded.n_replicas,
+        faulty=bool(spec.faults),
+        offered_qps=spec.workload.qps,
+        qps=report.throughput_qps,
+        p50_ns=report.p50_ns,
+        p99_ns=report.p99_ns,
+        ios_per_query=report.mean_ios_per_query,
+        rejected=report.rejected,
+        hedges_issued=report.hedges_issued,
+        hedge_wins=report.hedge_wins,
+        hedge_losses=report.hedge_losses,
+        ratio=ratio,
+        answers_match_single=False,  # filled in by the caller
+        loop_events=result.loop_profile.events_total,
+        wall_events_per_sec=result.loop_profile.events_per_sec,
+    )
+    return row, _collect_answers(result)
+
+
 def run(scale: ExperimentScale, dataset_name: str) -> list[ReplicaRow]:
     """Measure each routing policy's tail under a 1-slow-replica fault."""
-    dataset = load_dataset(
-        dataset_name, n=scale.n, n_queries=scale.n_queries, seed=scale.seed
-    )
-    spec = DATASET_SPECS[dataset_name]
-    params = E2LSHParams(n=dataset.n, rho=spec.rho, gamma=0.5, s_factor=32.0)
-    truth = exact_knn(dataset.data, dataset.queries, k=K)
-
-    single = ShardedIndex.build(
-        dataset.data, params, n_shards=N_SHARDS, scheme=SCHEME, seed=scale.seed
-    )
-    probe = QueryService(single).run_closed_loop(
-        dataset.queries,
-        ClosedLoopWorkload(
-            concurrency=PROBE_CONCURRENCY, n_queries=PROBE_REQUESTS, seed=scale.seed
-        ),
-        k=K,
-    )
-    offered_qps = LOAD_FRACTION * probe.throughput_qps
-    workload = OpenLoopWorkload(qps=offered_qps, n_queries=REQUESTS, seed=scale.seed)
-
-    fault = FaultSpec(shard=0, replica=1, latency_multiplier=FAULT_MULTIPLIER)
-    replicated = ShardedIndex.build(
-        dataset.data,
-        params,
-        n_shards=N_SHARDS,
-        scheme=SCHEME,
-        seed=scale.seed,
-        replicas=REPLICAS,
-        faults=(fault,),
+    probe = run_scenario(probe_spec(scale, dataset_name))
+    offered_qps = LOAD_FRACTION * probe.report.throughput_qps
+    truth = exact_knn(
+        probe.index.dataset.data, probe.index.dataset.queries, k=K
     )
 
-    def measure(
-        sharded: ShardedIndex, label: str, policy: str, faulty: bool
-    ) -> tuple[ReplicaRow, dict[int, tuple[np.ndarray, np.ndarray]]]:
-        service = QueryService(sharded, routing=RoutingConfig(policy=policy))
-        report = service.run_open_loop(dataset.queries, workload, k=K)
-        records = sorted(service.stats.records, key=lambda r: r.query_id)
-        answers = [service.answers[r.query_id].distances for r in records]
-        asked = np.array([r.pool_index for r in records])
-        ratio = overall_ratio(
-            answers,
-            GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]),
-            k=K,
-        )
-        row = ReplicaRow(
-            label=label,
-            policy=policy,
-            replicas=sharded.n_replicas,
-            faulty=faulty,
-            offered_qps=offered_qps,
-            qps=report.throughput_qps,
-            p50_ns=report.p50_ns,
-            p99_ns=report.p99_ns,
-            ios_per_query=report.mean_ios_per_query,
-            rejected=report.rejected,
-            hedges_issued=report.hedges_issued,
-            hedge_wins=report.hedge_wins,
-            hedge_losses=report.hedge_losses,
-            ratio=ratio,
-            answers_match_single=False,  # filled in below
-            loop_events=service.loop_profile.events_total,
-            wall_events_per_sec=service.loop_profile.events_per_sec,
-        )
-        return row, _collect_answers(service)
+    # The probe's deployment IS the single-copy measurement deployment,
+    # so its built index is reused; the replicated index is built once
+    # and shared across the policy sweep.
+    single_spec = policy_spec(
+        scale, dataset_name, "round_robin", offered_qps, faulty=False
+    )
+    replicated_index: ScenarioIndex | None = None
 
     rows: list[ReplicaRow] = []
-    baseline_row, baseline_answers = measure(single, "1-copy", "round_robin", False)
+    baseline_row, baseline_answers = _measure(
+        single_spec, probe.index, truth, "1-copy"
+    )
     rows.append(replace(baseline_row, answers_match_single=True))
     for policy in POLICIES:
-        row, answers = measure(replicated, f"2-copy {policy}", policy, True)
+        spec = policy_spec(scale, dataset_name, policy, offered_qps)
+        if replicated_index is None:
+            replicated_index = build_scenario_index(spec)
+        row, answers = _measure(spec, replicated_index, truth, f"2-copy {policy}")
         rows.append(
             replace(
                 row, answers_match_single=_answers_equal(answers, baseline_answers)

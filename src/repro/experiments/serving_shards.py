@@ -13,6 +13,10 @@ sustainable throughput and the latency distribution at that load:
 - 4 table-partitioned shards (``table``): fleet-wide I/O matches the
   single node (the same buckets, distributed), so saturation QPS tracks
   the aggregate device IOPS.
+
+Each deployment is expressed as a :class:`ScenarioSpec` (the same config
+objects the CLI consumes); :func:`run_specs` measures any list of specs,
+and :func:`run` builds the canonical comparison.
 """
 
 from __future__ import annotations
@@ -21,15 +25,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.params import E2LSHParams
-from repro.datasets.registry import DATASET_SPECS, load_dataset
 from repro.eval.ground_truth import GroundTruth, exact_knn
 from repro.eval.ratio import overall_ratio
 from repro.experiments.config import ExperimentScale
-from repro.serving import ClosedLoopWorkload, QueryService, ShardedIndex
+from repro.serving import (
+    DataConfig,
+    ScenarioResult,
+    ScenarioSpec,
+    ServingConfig,
+    WorkloadSpec,
+    run_scenario,
+)
 from repro.utils.units import format_time
 
-__all__ = ["ServingRow", "run", "format_table", "CONFIGS"]
+__all__ = ["ServingRow", "deployment_spec", "run", "run_specs", "format_table", "CONFIGS"]
 
 K = 10
 CONCURRENCY = 32
@@ -55,50 +64,62 @@ class ServingRow:
     wall_events_per_sec: float = 0.0
 
 
+def deployment_spec(
+    scale: ExperimentScale, dataset_name: str, n_shards: int, scheme: str
+) -> ScenarioSpec:
+    """The closed-loop saturation scenario for one deployment."""
+    return ScenarioSpec(
+        name=f"{n_shards}x{scheme}",
+        data=DataConfig(dataset=dataset_name, n=scale.n, pool_queries=scale.n_queries),
+        serving=ServingConfig(n_shards=n_shards, scheme=scheme),
+        workload=WorkloadSpec(mode="closed", requests=REQUESTS, concurrency=CONCURRENCY),
+        seed=scale.seed,
+        k=K,
+    )
+
+
+def _accuracy_ratio(result: ScenarioResult, truth: GroundTruth) -> float:
+    records = sorted(result.records, key=lambda r: r.query_id)
+    answers = [result.answers[r.query_id].distances for r in records]
+    asked = np.array([r.pool_index for r in records])
+    return overall_ratio(
+        answers, GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]), k=K
+    )
+
+
+def run_specs(specs: list[ScenarioSpec]) -> list[ServingRow]:
+    """Measure saturation throughput and p99 for each scenario."""
+    rows: list[ServingRow] = []
+    for spec in specs:
+        result = run_scenario(spec)
+        dataset = result.index.dataset
+        truth = exact_knn(dataset.data, dataset.queries, k=spec.k)
+        report = result.report
+        rows.append(
+            ServingRow(
+                n_shards=spec.serving.n_shards,
+                scheme=spec.serving.scheme,
+                qps=report.throughput_qps,
+                p50_ns=report.p50_ns,
+                p99_ns=report.p99_ns,
+                ios_per_query=report.mean_ios_per_query,
+                ratio=_accuracy_ratio(result, truth),
+                loop_events=result.loop_profile.events_total,
+                wall_events_per_sec=result.loop_profile.events_per_sec,
+            )
+        )
+    return rows
+
+
 def run(
     scale: ExperimentScale,
     dataset_name: str,
     configs: tuple[tuple[int, str], ...] = CONFIGS,
 ) -> list[ServingRow]:
     """Measure saturation throughput and p99 for each deployment."""
-    dataset = load_dataset(
-        dataset_name, n=scale.n, n_queries=scale.n_queries, seed=scale.seed
+    return run_specs(
+        [deployment_spec(scale, dataset_name, n_shards, scheme) for n_shards, scheme in configs]
     )
-    spec = DATASET_SPECS[dataset_name]
-    params = E2LSHParams(n=dataset.n, rho=spec.rho, gamma=0.5, s_factor=32.0)
-    truth = exact_knn(dataset.data, dataset.queries, k=K)
-    workload = ClosedLoopWorkload(
-        concurrency=CONCURRENCY, n_queries=REQUESTS, seed=scale.seed
-    )
-    rows: list[ServingRow] = []
-    for n_shards, scheme in configs:
-        sharded = ShardedIndex.build(
-            dataset.data, params, n_shards=n_shards, scheme=scheme, seed=scale.seed
-        )
-        service = QueryService(sharded)
-        report = service.run_closed_loop(dataset.queries, workload, k=K)
-        records = sorted(service.stats.records, key=lambda r: r.query_id)
-        answers = [service.answers[r.query_id].distances for r in records]
-        asked = np.array([r.pool_index for r in records])
-        ratio = overall_ratio(
-            answers,
-            GroundTruth(ids=truth.ids[asked], distances=truth.distances[asked]),
-            k=K,
-        )
-        rows.append(
-            ServingRow(
-                n_shards=n_shards,
-                scheme=scheme,
-                qps=report.throughput_qps,
-                p50_ns=report.p50_ns,
-                p99_ns=report.p99_ns,
-                ios_per_query=report.mean_ios_per_query,
-                ratio=ratio,
-                loop_events=service.loop_profile.events_total,
-                wall_events_per_sec=service.loop_profile.events_per_sec,
-            )
-        )
-    return rows
 
 
 def format_table(rows: list[ServingRow]) -> str:

@@ -19,15 +19,34 @@ index CPU/IOPS-bound; this package puts a *service* in front of it:
   arrivals, dispatch, hedging, and replica engines together in
   simulated time (tie order: completions -> flushes -> hedges ->
   arrivals).
+- :mod:`repro.serving.config` — typed, JSON-round-trippable config
+  dataclasses for every layer above (deployment, workload, fault
+  timeline).
+- :mod:`repro.serving.scenario` — :class:`ScenarioSpec` composing the
+  configs with one seed; ``run_scenario`` replays a spec into a
+  byte-identical :class:`ServiceReport`.
+- :mod:`repro.serving.catalog` — the committed library of situations
+  (steady state, flash crowd, diurnal, hot-set drift, stall storm,
+  correlated fault) the ``repro scenarios`` CLI runs.
 """
 
+from repro.serving.catalog import CATALOG_NAMES, build_scenario, catalog
+from repro.serving.config import (
+    ARRIVAL_SHAPES,
+    DataConfig,
+    FaultTimeline,
+    ServingConfig,
+    WorkloadSpec,
+)
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
 from repro.serving.loadgen import (
     Arrival,
     ClosedLoopWorkload,
+    DriftingSelector,
     OpenLoopWorkload,
     QuerySelector,
     open_loop_arrivals,
+    thinned_arrival_times,
 )
 from repro.serving.replication import (
     ROUTING_POLICIES,
@@ -35,17 +54,32 @@ from repro.serving.replication import (
     ReplicaGroup,
     ReplicaRouter,
     RoutingConfig,
+    StallingDevice,
+    TimelineDevice,
+)
+from repro.serving.scenario import (
+    ScenarioIndex,
+    ScenarioResult,
+    ScenarioSpec,
+    build_scenario_index,
+    run_scenario,
+    workload_arrivals,
 )
 from repro.serving.service import QueryService
 from repro.serving.sharding import Shard, ShardedIndex, ShardPlan, merge_answers, plan_shards
 from repro.serving.stats import ServiceReport, ServiceStats, percentile
 
 __all__ = [
+    "ARRIVAL_SHAPES",
     "Arrival",
+    "CATALOG_NAMES",
     "ClosedLoopWorkload",
+    "DataConfig",
     "DispatchConfig",
     "Dispatcher",
+    "DriftingSelector",
     "FaultSpec",
+    "FaultTimeline",
     "OpenLoopWorkload",
     "QueryService",
     "QuerySelector",
@@ -53,13 +87,26 @@ __all__ = [
     "ReplicaGroup",
     "ReplicaRouter",
     "RoutingConfig",
+    "ScenarioIndex",
+    "ScenarioResult",
+    "ScenarioSpec",
     "ServiceReport",
     "ServiceStats",
+    "ServingConfig",
     "Shard",
     "ShardPlan",
     "ShardedIndex",
+    "StallingDevice",
+    "TimelineDevice",
+    "WorkloadSpec",
+    "build_scenario",
+    "build_scenario_index",
+    "catalog",
     "merge_answers",
     "open_loop_arrivals",
     "percentile",
     "plan_shards",
+    "run_scenario",
+    "thinned_arrival_times",
+    "workload_arrivals",
 ]

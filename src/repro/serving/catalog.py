@@ -1,0 +1,211 @@
+"""The committed scenario catalog: the situations serving claims are
+regression-tested against.
+
+Each builder returns a fully-specified, seeded
+:class:`~repro.serving.scenario.ScenarioSpec`; the catalog is the
+*library of situations* the ROADMAP calls for — every entry replays
+byte-identically, so "hedging beats round-robin under a windowed slow
+replica" is a test, not an anecdote.  Fault windows and workload
+periods are expressed as fractions of the nominal run length
+(``requests / qps``), so the quick and full scales exercise the same
+story at different sizes:
+
+============================  =================================================
+scenario                      the situation
+============================  =================================================
+``steady-state``              healthy fleet, Poisson arrivals, mild skew —
+                              the control every other entry is read against
+``flash-crowd``               offered rate steps 4x for the middle third of
+                              the run (admission + queueing under burst)
+``diurnal``                    sinusoidal rate swing (capacity must absorb the
+                              crest, not the mean)
+``hot-set-drift``             Zipf head marches through the query pool
+                              (cache-invalidation shape)
+``replica-stall-storm``       one replica takes periodic GC-style stalls for
+                              a mid-run window; hedged routing races past it
+``correlated-fault``          one replica of *every* shard degrades 4x in the
+                              same window — a bad rack, not a bad disk
+============================  =================================================
+
+The ``quick`` scale keeps CI smoke runs under a few seconds; the full
+scale is the nightly chaos sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.config import DataConfig, FaultTimeline, ServingConfig, WorkloadSpec
+from repro.serving.scenario import ScenarioSpec
+from repro.utils.units import NS_PER_S, NS_PER_US
+
+__all__ = ["CATALOG_NAMES", "CatalogScale", "build_scenario", "catalog"]
+
+
+@dataclass(frozen=True)
+class CatalogScale:
+    """Sizing knobs shared by every catalog entry."""
+
+    n: int
+    pool_queries: int
+    requests: int
+    qps: float
+
+    @property
+    def run_ns(self) -> float:
+        """Nominal run length the windows/periods are fractions of."""
+        return self.requests / self.qps * NS_PER_S
+
+    @property
+    def run_us(self) -> float:
+        return self.run_ns / NS_PER_US
+
+
+QUICK_SCALE = CatalogScale(n=1_200, pool_queries=16, requests=32, qps=4_000.0)
+FULL_SCALE = CatalogScale(n=8_000, pool_queries=32, requests=512, qps=4_000.0)
+
+#: The fleet every entry runs on: enough shards for scatter-gather and a
+#: spare copy for the fault entries to lean on.
+_FLEET = dict(n_shards=4, scheme="table", replicas=2)
+_SEED = 7
+_TARGET_P99_MS = 4.0
+
+
+def steady_state(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="steady-state",
+        description="healthy fleet under Poisson arrivals with mild skew; "
+        "the control the chaos entries are read against",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="least_outstanding"),
+        workload=WorkloadSpec(requests=scale.requests, qps=scale.qps, zipf_s=0.9),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def flash_crowd(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="flash-crowd",
+        description="offered rate steps 4x for the middle third of the run",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="least_outstanding"),
+        workload=WorkloadSpec(
+            requests=scale.requests,
+            qps=scale.qps,
+            shape="flash_crowd",
+            flash_at_us=scale.run_us / 3.0,
+            flash_duration_us=scale.run_us / 3.0,
+            flash_multiplier=4.0,
+            zipf_s=0.9,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def diurnal(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="diurnal",
+        description="sinusoidal rate swing; capacity must absorb the crest",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="least_outstanding"),
+        workload=WorkloadSpec(
+            requests=scale.requests,
+            qps=scale.qps,
+            shape="diurnal",
+            period_us=scale.run_us / 2.0,
+            amplitude=0.6,
+            zipf_s=0.9,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def hot_set_drift(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="hot-set-drift",
+        description="Zipf head marches through the query pool "
+        "(the shape that invalidates result caches)",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="least_outstanding"),
+        workload=WorkloadSpec(
+            requests=scale.requests,
+            qps=scale.qps,
+            zipf_s=1.1,
+            hot_drift_period_us=scale.run_us / 8.0,
+            hot_drift_stride=3,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def replica_stall_storm(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="replica-stall-storm",
+        description="one replica takes periodic GC-style stalls for the "
+        "middle half of the run; hedged routing races past it",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="hedged"),
+        workload=WorkloadSpec(requests=scale.requests, qps=scale.qps, zipf_s=0.9),
+        faults=FaultTimeline.stall_storm(
+            shard=0,
+            replica=1,
+            stall_period_ns=scale.run_ns / 16.0,
+            stall_duration_ns=scale.run_ns / 32.0,
+            start_ns=scale.run_ns / 4.0,
+            stop_ns=3.0 * scale.run_ns / 4.0,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def correlated_fault(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="correlated-fault",
+        description="one replica of every shard degrades 4x in the same "
+        "window - a bad rack, not a bad disk",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=ServingConfig(**_FLEET, routing="least_outstanding"),
+        workload=WorkloadSpec(requests=scale.requests, qps=scale.qps, zipf_s=0.9),
+        faults=FaultTimeline.correlated(
+            shards=range(_FLEET["n_shards"]),
+            replica=1,
+            latency_multiplier=4.0,
+            start_ns=scale.run_ns / 4.0,
+            stop_ns=3.0 * scale.run_ns / 4.0,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+_BUILDERS = {
+    "steady-state": steady_state,
+    "flash-crowd": flash_crowd,
+    "diurnal": diurnal,
+    "hot-set-drift": hot_set_drift,
+    "replica-stall-storm": replica_stall_storm,
+    "correlated-fault": correlated_fault,
+}
+
+CATALOG_NAMES: tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_scenario(name: str, quick: bool = False) -> ScenarioSpec:
+    """One catalog entry at the quick (CI smoke) or full (nightly) scale."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; catalog: {', '.join(CATALOG_NAMES)}"
+        ) from None
+    return builder(QUICK_SCALE if quick else FULL_SCALE)
+
+
+def catalog(quick: bool = False) -> list[ScenarioSpec]:
+    """Every catalog entry, in the order the table above lists them."""
+    return [build_scenario(name, quick=quick) for name in CATALOG_NAMES]

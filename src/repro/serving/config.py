@@ -1,0 +1,486 @@
+"""Typed, serializable configuration for the serving stack.
+
+Everything a load test needs — the deployment, the workload, and the
+fault timeline — was previously spread across a ~25-flag CLI and long
+kwarg lists on :meth:`~repro.serving.sharding.ShardedIndex.build`,
+:class:`~repro.serving.dispatcher.DispatchConfig`, and
+:class:`~repro.serving.replication.RoutingConfig`.  This module gives
+each layer one frozen dataclass with a strict ``from_dict`` (unknown
+keys and invalid values raise), so a complete serving situation is a
+JSON-round-trippable value:
+
+- :class:`DataConfig` — which dataset analog, at what size, with which
+  index parameters;
+- :class:`ServingConfig` — shards, replicas, devices, routing/hedging,
+  micro-batching, and admission (the deployment);
+- :class:`WorkloadSpec` — arrival shape (constant / Poisson /
+  diurnal-sine / flash-crowd / ramp), offered rate, query population
+  (Zipf skew, drifting hot set), or a closed-loop client fleet;
+- :class:`FaultTimeline` — :class:`~repro.serving.replication.FaultSpec`
+  events with start/stop windows, plus constructors for correlated
+  replica faults and stall storms.
+
+:class:`~repro.serving.scenario.ScenarioSpec` composes the four (plus a
+single seed) into a replayable scenario; the defaults here are the one
+source of truth the ``repro loadtest`` flags are generated from.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, fields
+from typing import Any
+
+from repro.datasets.registry import DATASET_NAMES
+from repro.serving.dispatcher import DispatchConfig
+from repro.serving.replication import FaultSpec, RoutingConfig
+from repro.serving.sharding import PARTITION_SCHEMES
+from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
+from repro.utils.units import NS_PER_US
+
+__all__ = [
+    "ARRIVAL_SHAPES",
+    "WORKLOAD_MODES",
+    "DataConfig",
+    "ServingConfig",
+    "WorkloadSpec",
+    "FaultTimeline",
+    "strict_from_dict",
+]
+
+ARRIVAL_SHAPES = ("poisson", "uniform", "diurnal", "flash_crowd", "ramp")
+WORKLOAD_MODES = ("open", "closed")
+
+
+def strict_from_dict(cls: type, payload: Mapping[str, Any], context: str) -> Any:
+    """Construct a config dataclass from a mapping, rejecting unknown keys.
+
+    Value validation is the dataclass's own ``__post_init__``; this
+    helper only guards the key set, so a typo in a JSON spec fails
+    loudly instead of silently falling back to a default.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"{context} must be a mapping, got {type(payload).__name__}")
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValueError(f"{context}: unknown key(s) {unknown}; known: {sorted(known)}")
+    return cls(**payload)
+
+
+# --------------------------------------------------------------------------
+# Data
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DataConfig:
+    """Dataset analog and index parameters of a scenario."""
+
+    dataset: str = "sift"
+    #: Database size (vectors indexed).
+    n: int = 4_000
+    #: Query-pool size the workload draws from.
+    pool_queries: int = 32
+    gamma: float = 0.5
+    s_factor: float = 32.0
+    #: Index exponent; ``None`` uses the dataset's calibrated default.
+    rho: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.dataset not in DATASET_NAMES:
+            raise ValueError(
+                f"unknown dataset {self.dataset!r}; known: {sorted(DATASET_NAMES)}"
+            )
+        if self.n < 1:
+            raise ValueError(f"n must be >= 1, got {self.n}")
+        if self.pool_queries < 1:
+            raise ValueError(f"pool_queries must be >= 1, got {self.pool_queries}")
+        if self.gamma <= 0:
+            raise ValueError(f"gamma must be positive, got {self.gamma}")
+        if self.s_factor <= 0:
+            raise ValueError(f"s_factor must be positive, got {self.s_factor}")
+        if self.rho is not None and not 0 < self.rho < 1:
+            raise ValueError(f"rho must be in (0, 1), got {self.rho}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DataConfig":
+        return strict_from_dict(cls, payload, "data config")
+
+
+# --------------------------------------------------------------------------
+# Deployment
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """The deployment: shards, replicas, devices, routing, batching."""
+
+    n_shards: int = 1
+    scheme: str = "hash"
+    device: str = "cssd"
+    devices_per_shard: int = 1
+    interface: str = "io_uring"
+    workers_per_shard: int = 1
+    replicas: int = 1
+    routing: str = "round_robin"
+    #: Explicit hedge delay; ``None`` adapts to the observed sub-query p50.
+    hedge_delay_us: float | None = None
+    #: Micro-batch size trigger (admission lanes).
+    max_batch: int = DispatchConfig.max_batch
+    #: Micro-batch time trigger.
+    batch_delay_us: float = DispatchConfig.max_delay_ns / NS_PER_US
+    #: Bounded admission: max outstanding sub-queries per replica lane.
+    queue_capacity: int = DispatchConfig.queue_capacity
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.scheme not in PARTITION_SCHEMES:
+            raise ValueError(
+                f"unknown scheme {self.scheme!r}; known: {PARTITION_SCHEMES}"
+            )
+        if self.device not in DEVICE_PROFILES:
+            raise ValueError(
+                f"unknown device {self.device!r}; known: {sorted(DEVICE_PROFILES)}"
+            )
+        if self.devices_per_shard < 1:
+            raise ValueError(
+                f"devices_per_shard must be >= 1, got {self.devices_per_shard}"
+            )
+        if self.interface not in INTERFACE_PROFILES:
+            raise ValueError(
+                f"unknown interface {self.interface!r}; "
+                f"known: {sorted(INTERFACE_PROFILES)}"
+            )
+        if INTERFACE_PROFILES[self.interface].synchronous:
+            raise ValueError(
+                f"interface {self.interface!r} is synchronous; the serving "
+                "engine needs an async interface"
+            )
+        if self.workers_per_shard < 1:
+            raise ValueError(
+                f"workers_per_shard must be >= 1, got {self.workers_per_shard}"
+            )
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {self.replicas}")
+        # Delegate routing/batching validation to the runtime configs so
+        # there is exactly one rulebook (e.g. hedge_delay_us requires the
+        # 'hedged' policy).
+        self.routing_config()
+        self.dispatch_config()
+
+    def routing_config(self) -> RoutingConfig:
+        """The :class:`RoutingConfig` this deployment runs with."""
+        hedge_delay_ns = (
+            self.hedge_delay_us * NS_PER_US if self.hedge_delay_us is not None else None
+        )
+        return RoutingConfig(policy=self.routing, hedge_delay_ns=hedge_delay_ns)
+
+    def dispatch_config(self) -> DispatchConfig:
+        """The :class:`DispatchConfig` this deployment runs with."""
+        return DispatchConfig(
+            max_batch=self.max_batch,
+            max_delay_ns=self.batch_delay_us * NS_PER_US,
+            queue_capacity=self.queue_capacity,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ServingConfig":
+        return strict_from_dict(cls, payload, "serving config")
+
+
+# --------------------------------------------------------------------------
+# Workload
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parametric workload: arrival shape and query population.
+
+    Open-loop shapes are *rate functions* ``rate(t)`` sampled by
+    thinning (see :func:`repro.serving.loadgen.thinned_arrival_times`),
+    so every shape is replayable from the scenario seed:
+
+    - ``poisson`` / ``uniform``: constant-rate arrivals (the PR-1
+      processes, byte-compatible with the legacy CLI);
+    - ``diurnal``: ``qps * (1 + amplitude * sin(2*pi*t / period_us))``;
+    - ``flash_crowd``: ``qps``, stepping to ``qps * flash_multiplier``
+      inside ``[flash_at_us, flash_at_us + flash_duration_us)``;
+    - ``ramp``: linear from ``qps`` to ``ramp_to_qps`` over
+      ``ramp_duration_us``, then flat.
+
+    The query population is drawn from the data config's query pool with
+    optional Zipf skew; ``hot_drift_period_us > 0`` rotates *which* pool
+    entries are hot by ``hot_drift_stride`` positions every period (the
+    shifting-hot-set shape result caches must survive).
+    """
+
+    mode: str = "open"
+    #: Total queries offered (open) or completed (closed).
+    requests: int = 256
+    #: Base offered rate (open loop).
+    qps: float = 2_000.0
+    shape: str = "poisson"
+    # -- diurnal --
+    period_us: float = 0.0
+    amplitude: float = 0.0
+    # -- flash crowd --
+    flash_at_us: float = 0.0
+    flash_duration_us: float = 0.0
+    flash_multiplier: float = 1.0
+    # -- ramp --
+    ramp_to_qps: float = 0.0
+    ramp_duration_us: float = 0.0
+    # -- query population --
+    zipf_s: float = 0.0
+    hot_drift_period_us: float = 0.0
+    hot_drift_stride: int = 0
+    # -- closed loop --
+    concurrency: int = 16
+    think_time_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in WORKLOAD_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; known: {WORKLOAD_MODES}")
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.shape not in ARRIVAL_SHAPES:
+            raise ValueError(
+                f"unknown arrival shape {self.shape!r}; known: {ARRIVAL_SHAPES}"
+            )
+        if self.qps <= 0:
+            raise ValueError(f"qps must be positive, got {self.qps}")
+        if self.zipf_s < 0:
+            raise ValueError(f"zipf_s must be >= 0, got {self.zipf_s}")
+        if self.concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1, got {self.concurrency}")
+        if self.think_time_us < 0:
+            raise ValueError(f"think_time_us must be >= 0, got {self.think_time_us}")
+        if self.mode == "closed" and self.shape != "poisson":
+            raise ValueError(
+                "closed-loop workloads have no arrival process; leave shape "
+                f"at its default (got {self.shape!r})"
+            )
+        if self.shape == "diurnal":
+            if self.period_us <= 0:
+                raise ValueError("diurnal shape needs period_us > 0")
+            if not 0 < self.amplitude <= 1:
+                raise ValueError(
+                    f"diurnal amplitude must be in (0, 1], got {self.amplitude}"
+                )
+        elif self.period_us or self.amplitude:
+            raise ValueError(
+                f"period_us/amplitude only apply to the diurnal shape "
+                f"(shape is {self.shape!r})"
+            )
+        if self.shape == "flash_crowd":
+            if self.flash_duration_us <= 0:
+                raise ValueError("flash_crowd shape needs flash_duration_us > 0")
+            if self.flash_multiplier <= 1:
+                raise ValueError(
+                    f"flash_multiplier must exceed 1, got {self.flash_multiplier}"
+                )
+            if self.flash_at_us < 0:
+                raise ValueError(f"flash_at_us must be >= 0, got {self.flash_at_us}")
+        elif self.flash_at_us or self.flash_duration_us or self.flash_multiplier != 1.0:
+            raise ValueError(
+                f"flash_* knobs only apply to the flash_crowd shape "
+                f"(shape is {self.shape!r})"
+            )
+        if self.shape == "ramp":
+            if self.ramp_to_qps <= 0:
+                raise ValueError("ramp shape needs ramp_to_qps > 0")
+            if self.ramp_duration_us <= 0:
+                raise ValueError("ramp shape needs ramp_duration_us > 0")
+        elif self.ramp_to_qps or self.ramp_duration_us:
+            raise ValueError(
+                f"ramp_* knobs only apply to the ramp shape (shape is {self.shape!r})"
+            )
+        if self.hot_drift_period_us < 0:
+            raise ValueError(
+                f"hot_drift_period_us must be >= 0, got {self.hot_drift_period_us}"
+            )
+        if self.hot_drift_period_us > 0:
+            if self.mode != "open":
+                raise ValueError("hot-set drift needs an open-loop workload")
+            if self.zipf_s <= 0:
+                raise ValueError(
+                    "hot-set drift needs zipf_s > 0 (a uniform population "
+                    "has no hot set to move)"
+                )
+            if self.hot_drift_stride < 1:
+                raise ValueError(
+                    f"hot_drift_stride must be >= 1 when drifting, "
+                    f"got {self.hot_drift_stride}"
+                )
+        elif self.hot_drift_stride:
+            raise ValueError("hot_drift_stride needs hot_drift_period_us > 0")
+
+    # -- the rate function ----------------------------------------------------
+
+    def rate_at(self, t_ns: float) -> float:
+        """Instantaneous offered rate (q/s) at simulated time ``t_ns``."""
+        t_us = t_ns / NS_PER_US
+        if self.shape == "diurnal":
+            return self.qps * (
+                1.0 + self.amplitude * math.sin(2.0 * math.pi * t_us / self.period_us)
+            )
+        if self.shape == "flash_crowd":
+            if self.flash_at_us <= t_us < self.flash_at_us + self.flash_duration_us:
+                return self.qps * self.flash_multiplier
+            return self.qps
+        if self.shape == "ramp":
+            progress = min(1.0, t_us / self.ramp_duration_us)
+            return self.qps + (self.ramp_to_qps - self.qps) * progress
+        return self.qps
+
+    @property
+    def peak_qps(self) -> float:
+        """The rate function's maximum — what capacity planning must absorb."""
+        if self.shape == "diurnal":
+            return self.qps * (1.0 + self.amplitude)
+        if self.shape == "flash_crowd":
+            return self.qps * self.flash_multiplier
+        if self.shape == "ramp":
+            return max(self.qps, self.ramp_to_qps)
+        return self.qps
+
+    def to_dict(self) -> dict[str, Any]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "WorkloadSpec":
+        return strict_from_dict(cls, payload, "workload spec")
+
+
+# --------------------------------------------------------------------------
+# Fault timeline
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A replayable chaos script: windowed fault events on the fleet.
+
+    Events are plain :class:`~repro.serving.replication.FaultSpec`
+    values — an event without a window (``start_ns=0``, ``stop_ns=None``)
+    is the always-on PR-5 fault; windowed events arrive and clear
+    mid-run.  The constructors below build the two patterns the chaos
+    catalog leans on: correlated faults (the same failure hitting one
+    replica of *every* shard at once — a bad rack, a rollout gone wrong)
+    and stall storms (repeated GC-style pauses marching over a window).
+    """
+
+    events: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultSpec):
+                raise ValueError(f"fault events must be FaultSpec, got {event!r}")
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @classmethod
+    def correlated(
+        cls,
+        shards: Iterable[int],
+        replica: int,
+        latency_multiplier: float,
+        start_ns: float = 0.0,
+        stop_ns: float | None = None,
+    ) -> "FaultTimeline":
+        """The same degradation on one replica of every listed shard."""
+        return cls(
+            events=tuple(
+                FaultSpec(
+                    shard=shard,
+                    replica=replica,
+                    latency_multiplier=latency_multiplier,
+                    start_ns=start_ns,
+                    stop_ns=stop_ns,
+                )
+                for shard in shards
+            )
+        )
+
+    @classmethod
+    def stall_storm(
+        cls,
+        shard: int,
+        replica: int,
+        stall_period_ns: float,
+        stall_duration_ns: float,
+        start_ns: float = 0.0,
+        stop_ns: float | None = None,
+        latency_multiplier: float = 1.0,
+    ) -> "FaultTimeline":
+        """Repeated stalls marching over a window on one replica."""
+        return cls(
+            events=(
+                FaultSpec(
+                    shard=shard,
+                    replica=replica,
+                    latency_multiplier=latency_multiplier,
+                    stall_period_ns=stall_period_ns,
+                    stall_duration_ns=stall_duration_ns,
+                    start_ns=start_ns,
+                    stop_ns=stop_ns,
+                ),
+            )
+        )
+
+    def merged(self, other: "FaultTimeline") -> "FaultTimeline":
+        """Both timelines' events, concatenated."""
+        return FaultTimeline(events=self.events + other.events)
+
+    def validate_against(self, n_shards: int, replicas: int) -> None:
+        """Reject events targeting replicas outside the deployment."""
+        for event in self.events:
+            if event.shard >= n_shards or event.replica >= replicas:
+                raise ValueError(
+                    f"fault targets shard {event.shard} replica {event.replica}, "
+                    f"but the deployment is {n_shards} shard(s) x "
+                    f"{replicas} replica(s)"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "events": [
+                {f.name: getattr(event, f.name) for f in fields(event)}
+                for event in self.events
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultTimeline":
+        if not isinstance(payload, Mapping):
+            raise ValueError(
+                f"fault timeline must be a mapping, got {type(payload).__name__}"
+            )
+        unknown = sorted(set(payload) - {"events"})
+        if unknown:
+            raise ValueError(f"fault timeline: unknown key(s) {unknown}")
+        events = payload.get("events", [])
+        if not isinstance(events, Sequence) or isinstance(events, (str, bytes)):
+            raise ValueError("fault timeline events must be a list")
+        return cls(
+            events=tuple(
+                strict_from_dict(FaultSpec, event, f"fault event #{i}")
+                for i, event in enumerate(events)
+            )
+        )

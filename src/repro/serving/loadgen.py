@@ -32,9 +32,11 @@ from repro.utils.units import NS_PER_S
 __all__ = [
     "Arrival",
     "QuerySelector",
+    "DriftingSelector",
     "OpenLoopWorkload",
     "ClosedLoopWorkload",
     "open_loop_arrivals",
+    "thinned_arrival_times",
 ]
 
 ARRIVAL_PROCESSES = ("poisson", "uniform")
@@ -72,6 +74,40 @@ class QuerySelector:
         if self._weights is None:
             return sequence % self.pool_size
         return int(self._rng.choice(self.pool_size, p=self._weights))
+
+
+class DriftingSelector(QuerySelector):
+    """Zipf-skewed selection whose hot set moves over simulated time.
+
+    The Zipf draw produces a popularity *rank*; the mapping from rank to
+    pool entry rotates by ``stride`` positions once per ``drift period``.
+    The head of the distribution therefore marches through the pool —
+    the shape that invalidates result caches keyed on pool entries while
+    keeping the instantaneous skew identical to :class:`QuerySelector`.
+    """
+
+    def __init__(
+        self,
+        pool_size: int,
+        zipf_s: float,
+        drift_period_ns: float,
+        stride: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(pool_size, zipf_s=zipf_s, seed=seed)
+        if zipf_s <= 0:
+            raise ValueError("a drifting hot set needs zipf_s > 0")
+        if drift_period_ns <= 0:
+            raise ValueError(f"drift_period_ns must be positive, got {drift_period_ns}")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        self.drift_period_ns = drift_period_ns
+        self.stride = stride
+
+    def select(self, sequence: int, time_ns: float = 0.0) -> int:
+        rank = super().select(sequence)
+        rotation = int(time_ns // self.drift_period_ns) * self.stride
+        return (rank + rotation) % self.pool_size
 
 
 @dataclass(frozen=True)
@@ -128,3 +164,40 @@ def open_loop_arrivals(workload: OpenLoopWorkload, pool_size: int) -> list[Arriv
         Arrival(query_id=i, time_ns=float(times[i]), pool_index=selector.select(i))
         for i in range(workload.n_queries)
     ]
+
+
+def thinned_arrival_times(
+    rate_fn,
+    rate_max_qps: float,
+    n: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Arrival times of a non-homogeneous Poisson process (Lewis thinning).
+
+    Candidate arrivals are drawn from a homogeneous process at
+    ``rate_max_qps`` and each is kept with probability
+    ``rate_fn(t) / rate_max_qps`` — exact for any bounded rate function,
+    and fully determined by ``seed``.  ``rate_fn`` takes a time in
+    nanoseconds and returns an instantaneous rate in queries/second that
+    must never exceed ``rate_max_qps``.
+    """
+    if rate_max_qps <= 0:
+        raise ValueError(f"rate_max_qps must be positive, got {rate_max_qps}")
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    mean_gap_ns = NS_PER_S / rate_max_qps
+    times = np.empty(n, dtype=np.float64)
+    t = 0.0
+    kept = 0
+    while kept < n:
+        t += float(rng.exponential(mean_gap_ns))
+        rate = rate_fn(t)
+        if rate > rate_max_qps * (1.0 + 1e-9):
+            raise ValueError(
+                f"rate_fn({t:.0f}) = {rate:.3f} exceeds rate_max_qps {rate_max_qps:.3f}"
+            )
+        if rng.random() * rate_max_qps < rate:
+            times[kept] = t
+            kept += 1
+    return times

@@ -54,6 +54,8 @@ __all__ = [
     "RoutingConfig",
     "ReplicaGroup",
     "ReplicaRouter",
+    "StallingDevice",
+    "TimelineDevice",
     "build_replica_engines",
 ]
 
@@ -84,6 +86,15 @@ class FaultSpec:
     window the device accepts no new requests (garbage collection
     pauses); requests submitted during a stall wait for the window to
     end, in-flight requests complete normally.
+
+    ``start_ns``/``stop_ns`` bound the fault in simulated time: the
+    degradation (and any stall pattern) is active only while
+    ``start_ns <= t < stop_ns``.  The defaults (0, ``None`` = forever)
+    reproduce the always-on PR-5 behaviour exactly; a *windowed* fault
+    is instead applied per-request by a :class:`TimelineDevice`, which
+    stretches the service time of reads starting inside the window
+    (the saturated-IOPS regulator is left untouched — a transient slow
+    spell, not a permanently smaller drive).
     """
 
     shard: int
@@ -91,6 +102,8 @@ class FaultSpec:
     latency_multiplier: float = 1.0
     stall_period_ns: float = 0.0
     stall_duration_ns: float = 0.0
+    start_ns: float = 0.0
+    stop_ns: float | None = None
 
     def __post_init__(self) -> None:
         if self.shard < 0:
@@ -113,6 +126,23 @@ class FaultSpec:
                 f"stall_period_ns ({self.stall_period_ns}) must exceed "
                 f"stall_duration_ns ({self.stall_duration_ns})"
             )
+        if self.start_ns < 0:
+            raise ValueError(f"start_ns must be >= 0, got {self.start_ns}")
+        if self.stop_ns is not None and self.stop_ns <= self.start_ns:
+            raise ValueError(
+                f"stop_ns ({self.stop_ns}) must exceed start_ns ({self.start_ns})"
+            )
+
+    @property
+    def windowed(self) -> bool:
+        """True when the fault is bounded in time (scenario timelines)."""
+        return self.start_ns > 0 or self.stop_ns is not None
+
+    def active_at(self, t_ns: float) -> bool:
+        """True while the fault's window covers simulated time ``t_ns``."""
+        if t_ns < self.start_ns:
+            return False
+        return self.stop_ns is None or t_ns < self.stop_ns
 
     def applies_to(self, shard: int, replica: int) -> bool:
         """True when this fault targets the given replica."""
@@ -154,6 +184,62 @@ class StallingDevice(StorageDevice):
         return super().submit(self._deferred(submit_ns), length)
 
 
+class TimelineDevice(StorageDevice):
+    """A device degraded by *time-windowed* fault events.
+
+    Each event is ``(start_ns, stop_ns, latency_multiplier,
+    stall_period_ns, stall_duration_ns)`` with ``stop_ns = inf`` for an
+    open-ended window.  While a window is active, reads starting inside
+    it are served ``latency_multiplier`` times slower, and — if the
+    event carries a stall pattern — submissions landing in the first
+    ``stall_duration_ns`` of every ``stall_period_ns`` (phase-anchored
+    at the window's start) are deferred to the end of the stall.
+    Deferral is re-checked until no event moves the submission again, so
+    back-to-back windows (a stall *storm*) compose; overlapping windows
+    multiply their latency factors.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        events: Sequence[tuple[float, float, float, float, float]],
+    ) -> None:
+        super().__init__(profile)
+        if not events:
+            raise ValueError("a TimelineDevice needs at least one fault event")
+        for start, stop, multiplier, period, duration in events:
+            if not 0 <= start < stop:
+                raise ValueError(f"need 0 <= start < stop, got [{start}, {stop})")
+            if multiplier < 1.0:
+                raise ValueError(f"latency multiplier must be >= 1, got {multiplier}")
+            if duration > 0 and period <= duration:
+                raise ValueError("need stall duration < stall period")
+        self.events = tuple(sorted(events))
+
+    def _deferred(self, submit_ns: float) -> float:
+        moved = True
+        while moved:
+            moved = False
+            for start, stop, _, period, duration in self.events:
+                if duration <= 0 or not start <= submit_ns < stop:
+                    continue
+                phase = (submit_ns - start) % period
+                if phase < duration:
+                    submit_ns = min(submit_ns - phase + duration, stop)
+                    moved = True
+        return submit_ns
+
+    def _latency_scale(self, start_ns: float) -> float:
+        scale = 1.0
+        for start, stop, multiplier, _, _ in self.events:
+            if start <= start_ns < stop:
+                scale *= multiplier
+        return scale
+
+    def submit(self, submit_ns: float, length: int) -> float:
+        return super().submit(self._deferred(submit_ns), length)
+
+
 def build_replica_engines(
     store: BlockStore,
     shard_id: int,
@@ -182,19 +268,47 @@ def build_replica_engines(
     for replica in range(replicas):
         profile = DEVICE_PROFILES[device]
         matching = [f for f in faults if f.applies_to(shard_id, replica)]
-        for fault in matching:
+        steady = [f for f in matching if not f.windowed]
+        windowed = [f for f in matching if f.windowed]
+        # Always-on degradation is baked into the profile (service time up,
+        # saturated IOPS down), exactly the PR-5 behaviour.
+        for fault in steady:
             profile = fault.degrade(profile)
-        stalls = [f for f in matching if f.stall_duration_ns > 0]
-        if len(stalls) > 1:
+        steady_stalls = [f for f in steady if f.stall_duration_ns > 0]
+        if len(steady_stalls) > 1:
             raise ValueError(
-                f"shard {shard_id} replica {replica} has {len(stalls)} stall "
-                "faults; compose them into one FaultSpec (overlapping stall "
-                "windows are not modeled)"
+                f"shard {shard_id} replica {replica} has {len(steady_stalls)} "
+                "always-on stall faults; compose them into one FaultSpec "
+                "(overlapping stall windows are not modeled)"
             )
-        if stalls:
+        if windowed:
+            # Windowed faults (and any always-on stall pattern riding along)
+            # are applied per-request by a TimelineDevice.  The always-on
+            # stall contributes only its stall fields — its latency
+            # multiplier is already baked into the profile above.
+            events = [
+                (
+                    f.start_ns,
+                    math.inf if f.stop_ns is None else f.stop_ns,
+                    f.latency_multiplier,
+                    f.stall_period_ns,
+                    f.stall_duration_ns,
+                )
+                for f in windowed
+            ] + [
+                (0.0, math.inf, 1.0, f.stall_period_ns, f.stall_duration_ns)
+                for f in steady_stalls
+            ]
+            members = [
+                TimelineDevice(profile, events) for _ in range(devices_per_replica)
+            ]
+            volume = StripedVolume(members, stripe_unit=stripe_unit)
+        elif steady_stalls:
             members = [
                 StallingDevice(
-                    profile, stalls[0].stall_period_ns, stalls[0].stall_duration_ns
+                    profile,
+                    steady_stalls[0].stall_period_ns,
+                    steady_stalls[0].stall_duration_ns,
                 )
                 for _ in range(devices_per_replica)
             ]

@@ -128,6 +128,25 @@ class QueryService:
 
         return self._run(pool, initial, on_done=on_done, k=k)
 
+    def run_arrivals(
+        self, pool: np.ndarray, arrivals: list[Arrival], k: int = 10
+    ) -> ServiceReport:
+        """Serve a pre-materialized arrival sequence (open loop).
+
+        This is the entry point scenario runs use: the arrival stream —
+        whatever its shape or query population — is generated up front
+        from the scenario seed, so replaying a spec replays the exact
+        event sequence.
+        """
+        pool = self._check_pool(pool)
+        for arrival in arrivals:
+            if not 0 <= arrival.pool_index < pool.shape[0]:
+                raise ValueError(
+                    f"arrival {arrival.query_id} targets pool index "
+                    f"{arrival.pool_index}, pool has {pool.shape[0]} entries"
+                )
+        return self._run(pool, list(arrivals), on_done=None, k=k)
+
     # -- the event loop -------------------------------------------------------
 
     def _run(

@@ -18,6 +18,7 @@ losers cancelled while still queued.
 from __future__ import annotations
 
 import math
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -108,9 +109,17 @@ class ServiceStats:
         """Freeze the run into a :class:`ServiceReport`.
 
         ``shard_results`` holds, per shard, the per-replica
-        :class:`EngineResult` list; a bare :class:`EngineResult` is
-        accepted as a single-copy shard.
+        :class:`EngineResult` list.  A bare :class:`EngineResult` is
+        still accepted as a single-copy shard, but that flat form is
+        deprecated — wrap each result in a one-element list.
         """
+        if any(isinstance(row, EngineResult) for row in shard_results):
+            warnings.warn(
+                "passing bare EngineResults to ServiceStats.report is "
+                "deprecated; pass one list of per-replica results per shard",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         nested: list[list[EngineResult]] = [
             [row] if isinstance(row, EngineResult) else list(row) for row in shard_results
         ]

@@ -126,6 +126,15 @@ class StorageDevice:
         bandwidth_gap = length * NS_PER_S / self.profile.bandwidth_bytes_per_s
         return max(iops_gap, bandwidth_gap)
 
+    def _latency_scale(self, start_ns: float) -> float:
+        """Service-time multiplier in effect when a read starts at ``start_ns``.
+
+        Fault-injection subclasses (windowed degradation in
+        :mod:`repro.serving.replication`) override this; the base device
+        is never degraded.
+        """
+        return 1.0
+
     def submit(self, submit_ns: float, length: int) -> float:
         """Book a random read of ``length`` bytes; return its completion time."""
         if length <= 0:
@@ -133,7 +142,7 @@ class StorageDevice:
         # Earliest-free channel (FCFS over a pool of parallel service units).
         channel = min(range(len(self._channel_free_ns)), key=self._channel_free_ns.__getitem__)
         start = max(submit_ns, self._channel_free_ns[channel])
-        completion = start + self._service_time_ns(length)
+        completion = start + self._service_time_ns(length) * self._latency_scale(start)
         # Departure regulator: completions cannot come faster than max_iops.
         completion = max(completion, self._last_departure_ns + self._regulator_gap_ns(length))
         self._channel_free_ns[channel] = completion

@@ -9,6 +9,7 @@ from repro.analysis.requirements import (
     average_n_io,
     inmemory_cpu_requirement_scale,
     plan_capacity,
+    plan_capacity_for_scenario,
     requirement_curve,
 )
 from repro.stats import QueryStats
@@ -149,6 +150,66 @@ def test_plan_capacity_replicated_defaults_match_single_copy():
     assert base.replicas == 1
     assert base.hedge_fraction == 0.0
     assert "replica" in base.describe()
+
+
+# -- plan_capacity_for_scenario ----------------------------------------------
+
+
+def make_report(qps=8_000.0, ios=20.0, hedge_fraction=0.0):
+    from types import SimpleNamespace
+
+    return SimpleNamespace(
+        throughput_qps=qps, mean_ios_per_query=ios, hedge_fraction=hedge_fraction
+    )
+
+
+def test_scenario_plan_open_loop_uses_peak_rate():
+    from repro.serving import ScenarioSpec, WorkloadSpec
+    from repro.storage.profiles import DEVICE_PROFILES
+
+    spec = ScenarioSpec(
+        name="flash",
+        workload=WorkloadSpec(
+            qps=1_000.0,
+            shape="flash_crowd",
+            flash_at_us=100.0,
+            flash_duration_us=50.0,
+            flash_multiplier=3.0,
+        ),
+    )
+    plan = plan_capacity_for_scenario(spec, make_report())
+    # The crest, not the baseline rate, sets the demand side.
+    assert plan.target_qps == pytest.approx(3_000.0)
+    assert plan.target_p99_ns == pytest.approx(spec.target_p99_ms * 1e6)
+    assert plan.device_max_iops == DEVICE_PROFILES[spec.serving.device].max_iops
+    assert plan.replicas == spec.serving.replicas
+
+
+def test_scenario_plan_closed_loop_uses_measured_throughput():
+    from repro.serving import ScenarioSpec, WorkloadSpec
+
+    spec = ScenarioSpec(
+        name="closed", workload=WorkloadSpec(mode="closed", concurrency=8)
+    )
+    plan = plan_capacity_for_scenario(spec, make_report(qps=12_345.0))
+    assert plan.target_qps == pytest.approx(12_345.0)
+
+
+def test_scenario_plan_deflates_hedged_ios_before_readding_them():
+    from repro.serving import ScenarioSpec, ServingConfig
+
+    spec = ScenarioSpec(
+        name="hedged",
+        serving=ServingConfig(replicas=2, routing="hedged"),
+    )
+    report = make_report(ios=25.0, hedge_fraction=0.25)
+    plan = plan_capacity_for_scenario(spec, report)
+    # Measured IO/query already contains the duplicates; the plan's hedge
+    # term re-adds them, so the fleet demand matches the measurement.
+    assert plan.n_io_per_query == pytest.approx(20.0)
+    assert plan.hedge_fraction == pytest.approx(0.25)
+    assert plan.required_fleet_iops == pytest.approx(plan.target_qps * 25.0)
+    assert plan.replicas == 2
 
 
 def test_plan_capacity_validation():

@@ -182,6 +182,87 @@ def test_loadtest_trace_and_metrics_exports(tmp_path):
     assert metrics["wall"]["events_total"] > 0
 
 
+def test_scenarios_list_names_the_catalog():
+    from repro.serving.catalog import CATALOG_NAMES
+
+    code, text = run_cli("scenarios", "--list")
+    assert code == 0
+    for name in CATALOG_NAMES:
+        assert name in text
+
+
+def test_scenarios_quick_run_writes_slo_report(tmp_path):
+    code, text = run_cli(
+        "scenarios", "--quick", "--name", "steady-state", "--out", str(tmp_path)
+    )
+    assert code == 0
+    assert "=== steady-state ===" in text
+    assert "SLO: p99" in text
+
+    import json
+
+    payload = json.loads((tmp_path / "steady-state.json").read_text())
+    assert payload["schema"] == "repro-scenario-report/1"
+    assert payload["scenario"] == "steady-state"
+    assert payload["spec"]["name"] == "steady-state"
+    assert "met" in payload["slo"]
+
+
+def test_scenarios_rejects_unknown_name():
+    with pytest.raises(SystemExit, match="unknown scenario"):
+        run_cli("scenarios", "--quick", "--name", "steady-stat")
+
+
+def test_scenarios_runs_a_spec_file(tmp_path):
+    import json
+
+    from repro.serving.catalog import build_scenario
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(
+        json.dumps(build_scenario("steady-state", quick=True).to_dict())
+    )
+    code, text = run_cli("scenarios", "--spec", str(spec_path))
+    assert code == 0
+    assert "=== steady-state ===" in text
+
+
+def test_scenarios_rejects_bad_spec_file(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"schema": "repro-scenario/1", "no_such_knob": 1}')
+    with pytest.raises(SystemExit, match="bad scenario spec"):
+        run_cli("scenarios", "--spec", str(bad))
+    with pytest.raises(SystemExit, match="bad scenario spec"):
+        run_cli("scenarios", "--spec", str(tmp_path / "missing.json"))
+
+
+def test_loadtest_flags_equal_scenario_spec():
+    # The loadtest command is a thin adapter over ScenarioSpec: the same
+    # deployment expressed as flags and as a spec must report identically.
+    from repro.serving import (
+        DataConfig,
+        ScenarioSpec,
+        ServingConfig,
+        WorkloadSpec,
+        run_scenario,
+    )
+
+    code, text = run_cli(
+        "loadtest", "--dataset", "sift", "--n", "1200", "--queries", "8",
+        "--shards", "2", "--scheme", "table", "--qps", "2500",
+        "--requests", "24", "--zipf", "0.8", "--seed", "5",
+    )
+    assert code == 0
+    spec = ScenarioSpec(
+        name="loadtest",
+        data=DataConfig(dataset="sift", n=1200, pool_queries=8),
+        serving=ServingConfig(n_shards=2, scheme="table"),
+        workload=WorkloadSpec(requests=24, qps=2500.0, zipf_s=0.8),
+        seed=5,
+    )
+    assert run_scenario(spec).report.describe() in text
+
+
 def test_report_renders_waterfall_and_tail_table(tmp_path):
     trace_path = tmp_path / "trace.json"
     code, _ = run_cli(

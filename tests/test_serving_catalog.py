@@ -1,0 +1,62 @@
+"""Tests for repro.serving.catalog: every entry seeded and replayable."""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.serving.catalog import CATALOG_NAMES, build_scenario, catalog
+from repro.serving.scenario import ScenarioSpec, run_scenario
+
+
+def test_catalog_names_are_the_committed_six():
+    assert CATALOG_NAMES == (
+        "steady-state",
+        "flash-crowd",
+        "diurnal",
+        "hot-set-drift",
+        "replica-stall-storm",
+        "correlated-fault",
+    )
+    assert len(catalog(quick=True)) == len(CATALOG_NAMES)
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        build_scenario("steady-stat")
+
+
+@pytest.mark.parametrize("name", CATALOG_NAMES)
+def test_every_entry_round_trips_through_json(name):
+    for quick in (True, False):
+        spec = build_scenario(name, quick=quick)
+        assert spec.name == name
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert ScenarioSpec.from_dict(payload) == spec
+
+
+@pytest.mark.parametrize("name", CATALOG_NAMES)
+def test_quick_entries_replay_byte_identically(name):
+    spec = build_scenario(name, quick=True)
+    first = json.dumps(asdict(run_scenario(spec).report), sort_keys=True)
+    second = json.dumps(asdict(run_scenario(spec).report), sort_keys=True)
+    assert first == second
+
+
+def test_quick_and_full_scales_differ_only_in_size():
+    quick = build_scenario("steady-state", quick=True)
+    full = build_scenario("steady-state")
+    assert quick.serving == full.serving
+    assert quick.seed == full.seed
+    assert quick.data.n < full.data.n
+    assert quick.workload.requests < full.workload.requests
+
+
+def test_fault_entries_window_inside_the_run():
+    for name in ("replica-stall-storm", "correlated-fault"):
+        spec = build_scenario(name, quick=True)
+        run_ns = spec.workload.requests / spec.workload.qps * 1e9
+        assert spec.faults, name
+        for event in spec.faults.events:
+            assert event.windowed
+            assert 0 < event.start_ns < event.stop_ns <= run_ns

@@ -1,0 +1,226 @@
+"""Tests for repro.serving.config."""
+
+import json
+
+import pytest
+
+from repro.serving.config import (
+    ARRIVAL_SHAPES,
+    DataConfig,
+    FaultTimeline,
+    ServingConfig,
+    WorkloadSpec,
+)
+from repro.serving.replication import FaultSpec
+
+
+# -- round-trips --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [DataConfig, ServingConfig, WorkloadSpec])
+def test_default_config_round_trips_through_json(cls):
+    config = cls()
+    payload = json.loads(json.dumps(config.to_dict()))
+    assert cls.from_dict(payload) == config
+
+
+def test_non_default_configs_round_trip():
+    data = DataConfig(dataset="gist", n=2_000, pool_queries=8, gamma=0.7, rho=0.4)
+    serving = ServingConfig(
+        n_shards=4,
+        scheme="table",
+        replicas=2,
+        routing="hedged",
+        hedge_delay_us=120.0,
+        max_batch=4,
+    )
+    workload = WorkloadSpec(
+        shape="diurnal", period_us=500.0, amplitude=0.5, zipf_s=1.0
+    )
+    for config in (data, serving, workload):
+        assert type(config).from_dict(config.to_dict()) == config
+
+
+def test_fault_timeline_round_trips_with_windows():
+    timeline = FaultTimeline(
+        events=(
+            FaultSpec(shard=0, replica=1, latency_multiplier=5.0),
+            FaultSpec(
+                shard=1,
+                replica=1,
+                latency_multiplier=2.0,
+                start_ns=1e6,
+                stop_ns=2e6,
+            ),
+        )
+    )
+    payload = json.loads(json.dumps(timeline.to_dict()))
+    assert FaultTimeline.from_dict(payload) == timeline
+
+
+# -- unknown keys and invalid values ------------------------------------------
+
+
+@pytest.mark.parametrize("cls", [DataConfig, ServingConfig, WorkloadSpec])
+def test_unknown_keys_are_rejected(cls):
+    with pytest.raises(ValueError, match="unknown key"):
+        cls.from_dict({"no_such_knob": 1})
+
+
+def test_fault_timeline_rejects_unknown_keys():
+    with pytest.raises(ValueError, match="unknown key"):
+        FaultTimeline.from_dict({"event": []})
+    with pytest.raises(ValueError, match="unknown key"):
+        FaultTimeline.from_dict({"events": [{"shard": 0, "replica": 0, "oops": 1}]})
+
+
+def test_from_dict_rejects_non_mapping():
+    with pytest.raises(ValueError, match="mapping"):
+        DataConfig.from_dict([1, 2])
+    with pytest.raises(ValueError, match="list"):
+        FaultTimeline.from_dict({"events": "not-a-list"})
+
+
+def test_data_config_validation():
+    with pytest.raises(ValueError, match="dataset"):
+        DataConfig(dataset="nope")
+    with pytest.raises(ValueError):
+        DataConfig(n=0)
+    with pytest.raises(ValueError, match="rho"):
+        DataConfig(rho=1.5)
+
+
+def test_serving_config_validation():
+    with pytest.raises(ValueError, match="scheme"):
+        ServingConfig(scheme="modulo")
+    with pytest.raises(ValueError, match="device"):
+        ServingConfig(device="floppy")
+    with pytest.raises(ValueError, match="synchronous"):
+        ServingConfig(interface="mmap_sync")
+    with pytest.raises(ValueError, match="interface"):
+        ServingConfig(interface="libaio")
+    with pytest.raises(ValueError, match="hedged"):
+        ServingConfig(hedge_delay_us=50.0)  # needs routing="hedged"
+    with pytest.raises(ValueError):
+        ServingConfig(queue_capacity=0)
+
+
+def test_serving_config_builds_runtime_configs():
+    config = ServingConfig(routing="hedged", hedge_delay_us=100.0, max_batch=4)
+    assert config.routing_config().hedge_delay_ns == pytest.approx(100_000.0)
+    dispatch = config.dispatch_config()
+    assert dispatch.max_batch == 4
+    assert dispatch.max_delay_ns == pytest.approx(50_000.0)
+
+
+# -- workload shapes ----------------------------------------------------------
+
+
+def test_workload_shape_knobs_require_their_shape():
+    with pytest.raises(ValueError, match="diurnal"):
+        WorkloadSpec(period_us=100.0)
+    with pytest.raises(ValueError, match="flash"):
+        WorkloadSpec(flash_multiplier=2.0)
+    with pytest.raises(ValueError, match="ramp"):
+        WorkloadSpec(ramp_to_qps=5_000.0)
+
+
+def test_workload_shape_validation():
+    with pytest.raises(ValueError, match="period_us"):
+        WorkloadSpec(shape="diurnal", amplitude=0.5)
+    with pytest.raises(ValueError, match="amplitude"):
+        WorkloadSpec(shape="diurnal", period_us=100.0, amplitude=2.0)
+    with pytest.raises(ValueError, match="flash_duration_us"):
+        WorkloadSpec(shape="flash_crowd", flash_multiplier=2.0)
+    with pytest.raises(ValueError, match="ramp_to_qps"):
+        WorkloadSpec(shape="ramp", ramp_duration_us=10.0)
+    with pytest.raises(ValueError, match="unknown arrival shape"):
+        WorkloadSpec(shape="bursty")
+    assert "poisson" in ARRIVAL_SHAPES and "flash_crowd" in ARRIVAL_SHAPES
+
+
+def test_closed_mode_rejects_arrival_shapes():
+    with pytest.raises(ValueError, match="closed-loop"):
+        WorkloadSpec(mode="closed", shape="uniform")
+
+
+def test_hot_drift_validation():
+    with pytest.raises(ValueError, match="zipf_s"):
+        WorkloadSpec(hot_drift_period_us=10.0, hot_drift_stride=1)
+    with pytest.raises(ValueError, match="stride"):
+        WorkloadSpec(zipf_s=1.0, hot_drift_period_us=10.0)
+    with pytest.raises(ValueError, match="hot_drift_period_us"):
+        WorkloadSpec(hot_drift_stride=2)
+
+
+def test_rate_at_follows_the_shape():
+    diurnal = WorkloadSpec(
+        qps=1_000.0, shape="diurnal", period_us=1_000.0, amplitude=0.5
+    )
+    assert diurnal.rate_at(0.0) == pytest.approx(1_000.0)
+    # Quarter period: sin peaks.
+    assert diurnal.rate_at(250.0 * 1e3) == pytest.approx(1_500.0)
+    assert diurnal.peak_qps == pytest.approx(1_500.0)
+
+    flash = WorkloadSpec(
+        qps=1_000.0,
+        shape="flash_crowd",
+        flash_at_us=100.0,
+        flash_duration_us=50.0,
+        flash_multiplier=3.0,
+    )
+    assert flash.rate_at(0.0) == pytest.approx(1_000.0)
+    assert flash.rate_at(120.0 * 1e3) == pytest.approx(3_000.0)
+    assert flash.rate_at(200.0 * 1e3) == pytest.approx(1_000.0)
+    assert flash.peak_qps == pytest.approx(3_000.0)
+
+    ramp = WorkloadSpec(
+        qps=1_000.0, shape="ramp", ramp_to_qps=4_000.0, ramp_duration_us=100.0
+    )
+    assert ramp.rate_at(0.0) == pytest.approx(1_000.0)
+    assert ramp.rate_at(50.0 * 1e3) == pytest.approx(2_500.0)
+    # Past the ramp the rate stays at the target.
+    assert ramp.rate_at(1e9) == pytest.approx(4_000.0)
+    assert ramp.peak_qps == pytest.approx(4_000.0)
+
+
+# -- fault timeline constructors ----------------------------------------------
+
+
+def test_correlated_builds_one_event_per_shard():
+    timeline = FaultTimeline.correlated(
+        shards=range(3), replica=1, latency_multiplier=4.0, start_ns=10.0, stop_ns=20.0
+    )
+    assert len(timeline) == 3
+    assert [event.shard for event in timeline.events] == [0, 1, 2]
+    assert all(event.replica == 1 for event in timeline.events)
+    assert all(event.windowed for event in timeline.events)
+
+
+def test_stall_storm_builds_windowed_stall():
+    timeline = FaultTimeline.stall_storm(
+        shard=0,
+        replica=1,
+        stall_period_ns=100.0,
+        stall_duration_ns=10.0,
+        start_ns=50.0,
+        stop_ns=500.0,
+    )
+    (event,) = timeline.events
+    assert event.stall_duration_ns == 10.0
+    assert event.windowed
+
+
+def test_validate_against_names_the_deployment():
+    timeline = FaultTimeline(events=(FaultSpec(shard=2, replica=0),))
+    with pytest.raises(ValueError, match="deployment"):
+        timeline.validate_against(n_shards=2, replicas=1)
+    timeline.validate_against(n_shards=3, replicas=1)
+
+
+def test_timeline_merge_and_event_types():
+    a = FaultTimeline(events=(FaultSpec(shard=0, replica=0),))
+    b = FaultTimeline(events=(FaultSpec(shard=1, replica=0),))
+    assert len(a.merged(b)) == 2
+    with pytest.raises(ValueError, match="FaultSpec"):
+        FaultTimeline(events=({"shard": 0},))

@@ -5,9 +5,11 @@ import pytest
 
 from repro.serving.loadgen import (
     ClosedLoopWorkload,
+    DriftingSelector,
     OpenLoopWorkload,
     QuerySelector,
     open_loop_arrivals,
+    thinned_arrival_times,
 )
 from repro.utils.units import NS_PER_S
 
@@ -61,6 +63,71 @@ def test_selector_zipf_deterministic():
     a = QuerySelector(8, zipf_s=1.0, seed=3)
     b = QuerySelector(8, zipf_s=1.0, seed=3)
     assert [a.select(i) for i in range(50)] == [b.select(i) for i in range(50)]
+
+
+def test_drifting_selector_rotates_ranks_over_time():
+    base = QuerySelector(pool_size=10, zipf_s=1.0, seed=5)
+    drifting = DriftingSelector(
+        pool_size=10, zipf_s=1.0, drift_period_ns=1_000.0, stride=3, seed=5
+    )
+    ranks = [base.select(i) for i in range(20)]
+    # At t=0 the instantaneous skew is identical to QuerySelector.
+    assert [drifting.select(i, time_ns=0.0) for i in range(20)] == ranks
+    # After two full periods the mapping has rotated by 2 * stride.
+    drifting = DriftingSelector(
+        pool_size=10, zipf_s=1.0, drift_period_ns=1_000.0, stride=3, seed=5
+    )
+    rotated = [drifting.select(i, time_ns=2_500.0) for i in range(20)]
+    assert rotated == [(r + 6) % 10 for r in ranks]
+
+
+def test_drifting_selector_deterministic():
+    make = lambda: DriftingSelector(8, zipf_s=1.1, drift_period_ns=500.0, seed=9)
+    a, b = make(), make()
+    picks = [(i, float(i) * 123.0) for i in range(50)]
+    assert [a.select(i, t) for i, t in picks] == [b.select(i, t) for i, t in picks]
+
+
+def test_drifting_selector_validation():
+    with pytest.raises(ValueError, match="zipf_s"):
+        DriftingSelector(8, zipf_s=0.0, drift_period_ns=100.0)
+    with pytest.raises(ValueError, match="drift_period_ns"):
+        DriftingSelector(8, zipf_s=1.0, drift_period_ns=0.0)
+    with pytest.raises(ValueError, match="stride"):
+        DriftingSelector(8, zipf_s=1.0, drift_period_ns=100.0, stride=0)
+
+
+def test_thinned_arrivals_deterministic_and_sorted():
+    rate = lambda t: 2_000.0
+    a = thinned_arrival_times(rate, 2_000.0, 100, seed=3)
+    b = thinned_arrival_times(rate, 2_000.0, 100, seed=3)
+    assert np.array_equal(a, b)
+    assert np.all(np.diff(a) > 0)
+    assert len(a) == 100
+    assert not np.array_equal(a, thinned_arrival_times(rate, 2_000.0, 100, seed=4))
+
+
+def test_thinned_arrivals_track_the_rate_function():
+    # Twice the rate inside [0, window) than after it: the first half of
+    # the arrivals should land in a window noticeably shorter than the
+    # second half's span.
+    window = 50e6
+    rate = lambda t: 4_000.0 if t < window else 1_000.0
+    times = thinned_arrival_times(rate, 4_000.0, 400, seed=2)
+    inside = (times < window).sum()
+    gaps_in = np.diff(times[times < window]).mean()
+    gaps_out = np.diff(times[times >= window]).mean()
+    assert inside > 0
+    assert gaps_out > 2 * gaps_in
+
+
+def test_thinned_arrivals_reject_rate_above_bound():
+    with pytest.raises(ValueError, match="exceeds rate_max_qps"):
+        thinned_arrival_times(lambda t: 3_000.0, 2_000.0, 10, seed=1)
+    with pytest.raises(ValueError, match="rate_max_qps"):
+        thinned_arrival_times(lambda t: 1.0, 0.0, 10)
+    with pytest.raises(ValueError, match="n must be"):
+        thinned_arrival_times(lambda t: 1.0, 100.0, 0)
 
 
 def test_workload_validation():

@@ -10,10 +10,12 @@ from repro.serving.replication import (
     ReplicaRouter,
     RoutingConfig,
     StallingDevice,
+    TimelineDevice,
     build_replica_engines,
 )
 from repro.serving.sharding import ShardedIndex
 from repro.storage.blockstore import MemoryBlockStore
+from repro.storage.device import StorageDevice
 from repro.storage.profiles import DEVICE_PROFILES
 
 
@@ -79,6 +81,99 @@ def test_stalling_device_defers_submissions_inside_window():
     assert in_stall == clear
     device.reset()
     assert device.submit(500.0, 512) < in_stall  # mid-period is unaffected
+
+
+# -- windowed faults (FaultSpec start/stop + TimelineDevice) ------------------
+
+
+def test_windowed_fault_fields_and_active_at():
+    steady = FaultSpec(shard=0, replica=0, latency_multiplier=2.0)
+    assert not steady.windowed
+    assert steady.active_at(0.0) and steady.active_at(1e12)
+    windowed = FaultSpec(
+        shard=0, replica=0, latency_multiplier=2.0, start_ns=100.0, stop_ns=200.0
+    )
+    assert windowed.windowed
+    assert not windowed.active_at(99.0)
+    assert windowed.active_at(100.0) and windowed.active_at(199.0)
+    assert not windowed.active_at(200.0)
+    open_ended = FaultSpec(
+        shard=0, replica=0, latency_multiplier=2.0, start_ns=100.0
+    )
+    assert open_ended.windowed and open_ended.active_at(1e12)
+
+
+def test_windowed_fault_validation():
+    with pytest.raises(ValueError):
+        FaultSpec(shard=0, replica=0, latency_multiplier=2.0, start_ns=-1.0)
+    with pytest.raises(ValueError):
+        FaultSpec(
+            shard=0, replica=0, latency_multiplier=2.0, start_ns=100.0, stop_ns=100.0
+        )
+
+
+def test_timeline_device_scales_latency_inside_window_only():
+    profile = DEVICE_PROFILES["cssd"]
+    window = (1e6, 2e6, 4.0, 0.0, 0.0)
+    device = TimelineDevice(profile, events=[window])
+    before = device.submit(0.0, 512)
+    assert before == pytest.approx(StorageDevice(profile).submit(0.0, 512))
+    device.reset()
+    inside = device.submit(1.5e6, 512)
+    assert inside - 1.5e6 >= 4.0 * profile.latency_ns
+    device.reset()
+    after = device.submit(2.5e6, 512)
+    assert after - 2.5e6 < 2.0 * profile.latency_ns
+
+
+def test_timeline_device_defers_through_stall_windows():
+    profile = DEVICE_PROFILES["cssd"]
+    # Stalls of 200ns every 1000ns, only inside [10_000, 12_000).
+    device = TimelineDevice(profile, events=[(10_000.0, 12_000.0, 1.0, 1000.0, 200.0)])
+    # Phase anchors at window start: [10_000, 10_200) stalls.
+    stalled = device.submit(10_050.0, 512)
+    device.reset()
+    clear = device.submit(10_200.0, 512)
+    assert stalled == clear
+    device.reset()
+    # Outside the window the same phase does not stall.
+    assert device.submit(9_050.0, 512) < stalled
+
+
+def test_timeline_device_validation():
+    profile = DEVICE_PROFILES["cssd"]
+    with pytest.raises(ValueError, match="at least one"):
+        TimelineDevice(profile, events=[])
+    with pytest.raises(ValueError, match="start"):
+        TimelineDevice(profile, events=[(200.0, 100.0, 2.0, 0.0, 0.0)])
+    with pytest.raises(ValueError, match="multiplier"):
+        TimelineDevice(profile, events=[(0.0, 100.0, 0.5, 0.0, 0.0)])
+    with pytest.raises(ValueError, match="stall"):
+        TimelineDevice(profile, events=[(0.0, 100.0, 1.0, 10.0, 10.0)])
+
+
+def test_build_replica_engines_windowed_fault_uses_timeline_device():
+    store = MemoryBlockStore()
+    faults = (
+        FaultSpec(
+            shard=0,
+            replica=1,
+            latency_multiplier=3.0,
+            start_ns=1e6,
+            stop_ns=2e6,
+        ),
+    )
+    engines, profiles = build_replica_engines(
+        store, shard_id=0, replicas=2, faults=faults
+    )
+    # The windowed replica keeps its steady-state profile (the fault is
+    # transient), but its devices follow the timeline.
+    assert profiles[1].latency_ns == profiles[0].latency_ns
+    devices = engines[1].volume.devices
+    assert all(isinstance(device, TimelineDevice) for device in devices)
+    assert all(
+        not isinstance(device, TimelineDevice) for device in engines[0].volume.devices
+    )
 
 
 # -- engine building ---------------------------------------------------------

@@ -71,7 +71,7 @@ def test_percentile_validation():
 
 def test_report_percentiles_and_throughput():
     stats = filled_stats([1.0] * 98 + [5.0, 9.0])
-    report = stats.report([engine_result(io_count=300)])
+    report = stats.report([[engine_result(io_count=300)]])
     assert report.completed == 100
     assert report.p50_ns == pytest.approx(1e6)
     assert report.p99_ns == pytest.approx(5e6)
@@ -86,7 +86,7 @@ def test_report_counts_rejections():
     stats = filled_stats([1.0, 2.0])
     stats.record_rejection()
     stats.record_rejection()
-    report = stats.report([engine_result()])
+    report = stats.report([[engine_result()]])
     assert report.rejected == 2
     assert report.offered == 4
 
@@ -95,7 +95,7 @@ def test_report_queue_and_batch_tracking():
     stats = filled_stats([1.0])
     stats.queue_depth_samples.extend([1, 3, 2])
     stats.batch_sizes.extend([4, 8])
-    report = stats.report([engine_result()])
+    report = stats.report([[engine_result()]])
     assert report.max_queue_depth == 3
     assert report.mean_queue_depth == pytest.approx(2.0)
     assert report.mean_batch_size == pytest.approx(6.0)
@@ -103,11 +103,11 @@ def test_report_queue_and_batch_tracking():
 
 def test_report_requires_completions():
     with pytest.raises(ValueError):
-        ServiceStats().report([engine_result()])
+        ServiceStats().report([[engine_result()]])
 
 
 def test_describe_mentions_key_figures():
-    text = filled_stats([1.0, 2.0]).report([engine_result(io_count=10)]).describe()
+    text = filled_stats([1.0, 2.0]).report([[engine_result(io_count=10)]]).describe()
     for token in ("p50", "p99", "rejected", "shards"):
         assert token in text
 
@@ -136,11 +136,20 @@ def test_report_accepts_per_replica_rows_and_sums_per_shard():
     assert "replicas" in report.describe()
 
 
-def test_report_flat_results_stay_single_copy():
-    report = filled_stats([1.0]).report([engine_result(io_count=7)])
+def test_report_flat_results_warn_but_stay_single_copy():
+    with pytest.warns(DeprecationWarning, match="per-replica"):
+        report = filled_stats([1.0]).report([engine_result(io_count=7)])
     assert report.replica_io_counts == ((7,),)
     assert report.n_replicas == 1
     assert "replicas" not in report.describe()
+
+
+def test_report_structured_form_does_not_warn():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        filled_stats([1.0]).report([[engine_result(io_count=7)]])
 
 
 def test_hedge_counters_flow_into_report_and_describe():
@@ -151,7 +160,7 @@ def test_hedge_counters_flow_into_report_and_describe():
     stats.hedge_wins = 2
     stats.hedge_losses = 1
     stats.hedge_losers_cancelled = 1
-    report = stats.report([engine_result()])
+    report = stats.report([[engine_result()]])
     assert (report.hedges_armed, report.hedges_issued) == (8, 3)
     assert (report.hedge_wins, report.hedge_losses) == (2, 1)
     # 2 completed x 1 shard -> 2 sub-queries, 3 duplicates issued.
@@ -162,7 +171,7 @@ def test_hedge_counters_flow_into_report_and_describe():
 
 
 def test_hedge_free_run_reports_quiet_ledger():
-    report = filled_stats([1.0]).report([engine_result()])
+    report = filled_stats([1.0]).report([[engine_result()]])
     assert report.hedges_armed == 0
     assert report.hedge_fraction == 0.0
     assert "hedges" not in report.describe()
@@ -176,7 +185,7 @@ def test_rejection_only_run_reports_instead_of_raising():
     for _ in range(5):
         stats.record_rejection()
     stats.queue_depth_samples.extend([2, 4])
-    report = stats.report([engine_result(io_count=3), engine_result()])
+    report = stats.report([[engine_result(io_count=3)], [engine_result()]])
     assert report.completed == 0
     assert report.rejected == 5
     assert report.offered == 5
@@ -194,7 +203,7 @@ def test_rejection_only_run_keeps_hedge_ledger():
     stats.record_rejection()
     stats.hedges_armed = 2
     stats.hedges_suppressed = 2
-    report = stats.report([engine_result()])
+    report = stats.report([[engine_result()]])
     assert report.hedges_armed == 2
     assert "suppressed 2" in report.describe()
 
@@ -204,7 +213,7 @@ def test_rejection_only_run_keeps_hedge_ledger():
 
 def test_describe_shows_active_fraction_for_single_copy():
     stats = filled_stats([1.0, 2.0])
-    report = stats.report([engine_result(io_count=10)])
+    report = stats.report([[engine_result(io_count=10)]])
     # No I/O completed in these synthetic results -> active 0%.
     assert "active 0%" in report.describe()
     assert "replicas" not in report.describe()
@@ -215,7 +224,7 @@ def test_describe_hedge_line_includes_suppressed_and_rate():
     stats.hedges_armed = 4
     stats.hedges_issued = 1
     stats.hedges_suppressed = 3
-    text = stats.report([engine_result()]).describe()
+    text = stats.report([[engine_result()]]).describe()
     assert "suppressed 3" in text
     assert "duplicate rate" in text
 
