@@ -1,0 +1,81 @@
+"""Append one serving-benchmark summary line to the perf trajectory.
+
+``BENCH_trajectory.jsonl`` is the committed long-term record: one JSON
+line per benchmark run, each condensing a ``repro-serving-bench/1``
+artifact (the per-row ``wall_events_per_sec`` figures plus the
+simulated-domain fingerprint) so throughput trends survive artifact
+expiry.  The nightly job runs::
+
+    python benchmarks/append_trajectory.py BENCH_fresh.json \
+        --out BENCH_trajectory.jsonl --label nightly-$(date -u +%F)
+
+and uploads the updated file; maintainers fold it back into the repo
+when refreshing the baseline.  Lines are append-only and sorted by
+entry time, so ``jq`` / pandas can chart the trajectory directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+SCHEMA = "repro-serving-bench/1"
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/1"
+
+
+def summarize(artifact: dict, label: str, timestamp: str | None = None) -> dict:
+    """Condense one bench artifact into a single trajectory entry."""
+    if artifact.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"error: artifact schema {artifact.get('schema')!r} is not {SCHEMA}"
+        )
+    rows = {}
+    for bench, bench_rows in sorted(artifact.get("results", {}).items()):
+        for row in bench_rows:
+            if "n_shards" in row:
+                key = f"{bench}[{row['n_shards']}, {row['scheme']}]"
+            elif "label" in row:
+                key = f"{bench}[{row['label']}, {row['policy']}]"
+            else:  # pragma: no cover - future benchmarks
+                key = bench
+            rows[key] = {
+                "wall_events_per_sec": row.get("wall_events_per_sec"),
+                "qps": row.get("qps"),
+                "p99_ns": row.get("p99_ns"),
+            }
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "label": label,
+        "recorded_at": timestamp
+        or datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "rows": rows,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="fresh repro-serving-bench/1 JSON artifact")
+    parser.add_argument(
+        "--out", default="BENCH_trajectory.jsonl", help="trajectory file to append to"
+    )
+    parser.add_argument("--label", default="manual", help="run label (e.g. nightly-2026-08-08)")
+    parser.add_argument(
+        "--timestamp", default=None, help="override the recorded_at timestamp (UTC ISO)"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.artifact) as handle:
+        artifact = json.load(handle)
+    entry = summarize(artifact, args.label, args.timestamp)
+    out = Path(args.out)
+    with out.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    print(f"appended {args.label}: {len(entry['rows'])} rows -> {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,7 +65,9 @@ def main() -> None:
         interface=INTERFACE_PROFILES["mmap_sync"],
         capacity_bytes=index.dram_bytes,
     )
-    _, sync_ns = index.run_mmap_sync(dataset.queries, cache, k=1)
+    sync_ns = index.run(
+        dataset.queries, k=1, mode="mmap_sync", cache=cache
+    ).engine.makespan_ns
     per_query = sync_ns / dataset.n_queries
     print(
         f"{'mmap sync (page cache)':24s}  {format_time(per_query):>12s}"

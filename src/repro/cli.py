@@ -206,6 +206,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=100.0,
         help="simulated-time sampling period of the metrics timeline",
     )
+    loadtest.add_argument(
+        "--profile-interval-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="also sample the simulator's wall-clock events/sec into a "
+        "per-phase timeline (exported with --metrics-out)",
+    )
+    loadtest.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="run the scalar per-sub-query dispatch path instead of "
+        "vectorized waves (same reports and traces, slower wall clock)",
+    )
 
     scenarios = sub.add_parser(
         "scenarios",
@@ -459,6 +473,12 @@ def _cmd_loadtest(args: argparse.Namespace, out) -> int:
         tracer=tracer,
         metrics_interval_ns=(
             args.metrics_interval_us * NS_PER_US if args.metrics_out else None
+        ),
+        vectorize=not args.no_vectorize,
+        profile_interval_ns=(
+            args.profile_interval_us * NS_PER_US
+            if args.profile_interval_us is not None
+            else None
         ),
     )
     report = result.report

@@ -25,19 +25,21 @@ from repro.stats import OpCounts, QueryStats
 
 
 def __getattr__(name: str):
-    # E2LSHoSIndex is loaded lazily (PEP 562): e2lshos pulls in the
-    # layout/storage/analysis stacks, which themselves import leaf
-    # modules of this package — eager import here would be circular.
-    if name == "E2LSHoSIndex":
-        from repro.core.e2lshos import E2LSHoSIndex
+    # E2LSHoSIndex/BatchResult are loaded lazily (PEP 562): e2lshos
+    # pulls in the layout/storage/analysis stacks, which themselves
+    # import leaf modules of this package — eager import here would be
+    # circular.
+    if name in ("E2LSHoSIndex", "BatchResult"):
+        from repro.core import e2lshos
 
-        return E2LSHoSIndex
+        return getattr(e2lshos, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "collision_probability",
     "query_aware_collision_probability",
     "rho_for_width",
+    "BatchResult",
     "CompoundHashBank",
     "E2LSHParams",
     "RadiusLadder",

@@ -21,6 +21,7 @@ memory-mapped baseline of Sec. 6.5.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -32,12 +33,16 @@ from repro.core.query_stats import OpCounts, QueryStats
 from repro.core.radii import RadiusLadder
 from repro.layout.bucket import NULL_ADDRESS, decode_block
 from repro.layout.builder import BuiltIndex, IndexBuilder
-from repro.layout.hash_table import SLOT_SIZE, OnStorageHashTable
+from repro.layout.hash_table import SLOT_SIZE
 from repro.storage.blockstore import BlockStore, MemoryBlockStore
 from repro.storage.engine import AsyncIOEngine, Compute, EngineResult, Read, ReadBatch, Task
 from repro.storage.page_cache import PageCache
 
 __all__ = ["E2LSHoSIndex", "BatchResult"]
+
+#: Upper bound on memoized per-query wave plans; cleared wholesale when
+#: exceeded (service query pools are far smaller, so this never churns).
+_PLAN_CACHE_CAP = 4096
 
 
 @dataclass
@@ -58,6 +63,90 @@ class BatchResult:
         return self.engine.tasks_per_second
 
 
+class _RungLookup:
+    """Flattened occupancy filter and slot addresses for one rung.
+
+    Concatenates every table's sorted ``present_values`` under a
+    ``(table << 32) | value`` key — globally sorted because the keys are
+    table-major and sorted within each table — so a single
+    ``np.searchsorted`` answers all ``B x L`` membership probes of a
+    query wave, replacing ``B x L`` Python-level
+    :meth:`~repro.layout.builder.TableHandle.contains` calls.  Slot byte
+    addresses come from the cached per-table bases, matching
+    :meth:`~repro.layout.hash_table.OnStorageHashTable.slot_address`.
+    """
+
+    __slots__ = ("keys", "base_addresses", "tables", "_shifts")
+
+    def __init__(self, handles) -> None:
+        n_tables = len(handles)
+        self._shifts = np.arange(n_tables, dtype=np.uint64) << np.uint64(32)
+        self.keys = np.concatenate(
+            [
+                self._shifts[l] | handles[l].present_values.astype(np.uint64)
+                for l in range(n_tables)
+            ]
+        )
+        self.base_addresses = np.array(
+            [handle.table.base_address for handle in handles], dtype=np.int64
+        )
+        self.tables = [handle.table for handle in handles]
+
+    def contains(self, hash_values: np.ndarray) -> np.ndarray:
+        """Occupancy mask for ``(B, L)`` hash values against this rung."""
+        keys = self.keys
+        if keys.size == 0:
+            return np.zeros(hash_values.shape, dtype=bool)
+        probes = (self._shifts[None, :] | hash_values.astype(np.uint64)).ravel()
+        pos = np.searchsorted(keys, probes)
+        clamped = np.minimum(pos, keys.size - 1)
+        hit = (keys[clamped] == probes) & (pos < keys.size)
+        return hit.reshape(hash_values.shape)
+
+
+class _WavePlan:
+    """Shared, lazily materialized hash state for one query wave.
+
+    Holds the ``(B, d)`` query matrix and computes projections plus
+    per-rung hash values, occupancy masks, and slot addresses once for
+    the whole wave on first touch; each member task reads its own row
+    ``i``.  Simulated Compute/Read charges stay per-task inside
+    :meth:`E2LSHoSIndex._run_query` — the plan only amortizes the *wall*
+    cost of the numpy calls across the wave, so a wave of B queries is
+    indistinguishable (answers, I/O counts, simulated timing) from B
+    scalar queries.
+    """
+
+    __slots__ = ("index", "queries", "_projections", "_rungs")
+
+    def __init__(self, index: "E2LSHoSIndex", queries: np.ndarray) -> None:
+        self.index = index
+        self.queries = queries
+        self._projections: np.ndarray | None = None
+        self._rungs: dict[int, tuple] = {}
+
+    @property
+    def projections(self) -> np.ndarray:
+        if self._projections is None:
+            self._projections = self.index.built.bank.project_rows(self.queries)
+        return self._projections
+
+    def rung(self, rung_index: int, radius: float) -> tuple:
+        """``(hash_values, slots, fingerprints, present, addresses)`` arrays."""
+        cached = self._rungs.get(rung_index)
+        if cached is None:
+            built = self.index.built
+            bank = built.bank
+            hash_values = bank.mix32(bank.codes_for_radius(self.projections, radius))
+            slots, fingerprints = built.codec.split_hash(hash_values)
+            lookup = self.index._rung_lookup(rung_index)
+            present = lookup.contains(hash_values)
+            addresses = lookup.base_addresses[None, :] + slots.astype(np.int64) * SLOT_SIZE
+            cached = (hash_values, slots, fingerprints, present, addresses)
+            self._rungs[rung_index] = cached
+        return cached
+
+
 class E2LSHoSIndex:
     """External-memory E2LSH over a built on-storage index."""
 
@@ -73,6 +162,24 @@ class E2LSHoSIndex:
         self.built = built
         self.data = data
         self.machine = machine
+        #: Per-rung flattened occupancy/address tables, built on first
+        #: query touch (queries share them across waves and batches).
+        self._rung_lookups: dict[int, _RungLookup] = {}
+        #: Hash state memo: query bytes -> (wave plan, row).  Hashing is
+        #: a pure function of the query vector and the (fixed) bank, and
+        #: ``project_rows`` is batch-invariant, so a recurring query can
+        #: reuse the plan row computed for an earlier wave bit-for-bit.
+        self._plan_cache: dict[bytes, tuple[_WavePlan, int]] = {}
+        # The projection, per-rung hashing, and occupancy-filter Compute
+        # steps are query-independent; share one OpCounts (``add`` only
+        # reads its argument) and one modelled duration across all tasks.
+        params, d = built.params, data.shape[1]
+        self._proj_step = OpCounts(projection_scalar_ops=d * params.L * params.m)
+        self._proj_ns = machine.compute_ns(self._proj_step)
+        self._rung_step = OpCounts(rounds=1, projection_scalar_ops=params.L * params.m)
+        self._rung_ns = machine.compute_ns(self._rung_step)
+        self._filter_step = OpCounts(bucket_lookups=params.L)
+        self._filter_ns = machine.compute_ns(self._filter_step)
 
     # -- construction -------------------------------------------------------
 
@@ -127,17 +234,27 @@ class E2LSHoSIndex:
 
     # -- query tasks ----------------------------------------------------------
 
-    def query_task(
+    def query_tasks(
         self,
-        query: np.ndarray,
+        queries: np.ndarray,
         k: int = 1,
         id_map: np.ndarray | None = None,
         stop_k: int | None = None,
-    ) -> Task:
-        """Cooperative task answering one query (drive with the engine).
+    ) -> list[Task]:
+        """Plan a micro-batch of queries as one wave of cooperative tasks.
 
-        ``id_map`` remaps the answer's object IDs through a lookup table
-        before the task returns — a shard answering on behalf of a
+        The whole ``(B, d)`` matrix is hashed at once — projections,
+        per-rung lattice codes, occupancy filtering via one sorted-array
+        ``searchsorted``, and slot addressing are computed once per wave
+        and shared by the returned tasks.  Each task still yields its
+        own Compute/ReadBatch actions, so driving the list on the engine
+        produces *exactly* the answers, I/O counts, and simulated timing
+        of ``[query_task(q) for q in queries]``; only the wall-clock
+        cost of planning is amortized (hashing uses the batch-invariant
+        :meth:`~repro.core.lsh.CompoundHashBank.project_rows`).
+
+        ``id_map`` remaps the answers' object IDs through a lookup table
+        before each task returns — a shard answering on behalf of a
         sharded service reports *global* IDs this way, so the dispatcher
         can merge shard answers without knowing the partitioning.
 
@@ -148,19 +265,66 @@ class E2LSHoSIndex:
         to ``k`` so a skewed partition cannot starve the merge.
         Defaults to ``k`` (the paper's single-node condition).
         """
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+        if queries.ndim == 1:
+            queries = queries[None, :]
+        d = self.data.shape[1]
+        if queries.ndim != 2 or queries.shape[0] < 1:
+            raise ValueError(f"queries must be a (B, {d}) matrix, got shape {queries.shape}")
+        if queries.shape[1] != d:
+            raise ValueError(f"queries have d={queries.shape[1]}, index expects {d}")
         stop_k = k if stop_k is None else stop_k
         if stop_k < 1:
             raise ValueError(f"stop_k must be >= 1, got {stop_k}")
-        task = self._run_query(
-            np.asarray(query, dtype=np.float32).reshape(-1), k, stop_k
-        )
-        if id_map is None:
-            return task
-        if id_map.shape[0] < self.built.params.n:
+        if id_map is not None and id_map.shape[0] < self.built.params.n:
             raise ValueError(
                 f"id_map covers {id_map.shape[0]} objects, index holds {self.built.params.n}"
             )
-        return self._remap_ids(task, id_map)
+        cache = self._plan_cache
+        refs: list[tuple[_WavePlan, int] | None] = []
+        keys: list[bytes] = []
+        fresh: dict[bytes, int] = {}
+        fresh_rows: list[int] = []
+        for row in range(queries.shape[0]):
+            key = queries[row].tobytes()
+            keys.append(key)
+            ref = cache.get(key)
+            if ref is None and key not in fresh:
+                fresh[key] = len(fresh_rows)
+                fresh_rows.append(row)
+            refs.append(ref)
+        if fresh_rows:
+            if len(fresh_rows) == queries.shape[0]:
+                sub = queries
+            else:
+                sub = np.ascontiguousarray(queries[fresh_rows])
+            wave = _WavePlan(self, sub)
+            if len(cache) + len(fresh) > _PLAN_CACHE_CAP:
+                cache.clear()
+            for key, col in fresh.items():
+                cache[key] = (wave, col)
+            for row, ref in enumerate(refs):
+                if ref is None:
+                    refs[row] = (wave, fresh[keys[row]])
+        tasks = [self._run_query(plan, col, k, stop_k) for plan, col in refs]
+        if id_map is None:
+            return tasks
+        return [self._remap_ids(task, id_map) for task in tasks]
+
+    def query_task(
+        self,
+        query: np.ndarray,
+        k: int = 1,
+        id_map: np.ndarray | None = None,
+        stop_k: int | None = None,
+    ) -> Task:
+        """Cooperative task answering one query (drive with the engine).
+
+        The ``B=1`` wrapper around :meth:`query_tasks`; see there for
+        the ``id_map`` and ``stop_k`` semantics.
+        """
+        queries = np.asarray(query, dtype=np.float32).reshape(1, -1)
+        return self.query_tasks(queries, k=k, id_map=id_map, stop_k=stop_k)[0]
 
     @staticmethod
     def _remap_ids(task: Task, id_map: np.ndarray) -> Task:
@@ -170,61 +334,68 @@ class E2LSHoSIndex:
             ids=np.asarray(ids, dtype=np.int64), distances=answer.distances, stats=answer.stats
         )
 
-    def _run_query(self, query: np.ndarray, k: int, stop_k: int) -> Task:
+    def _rung_lookup(self, rung_index: int) -> _RungLookup:
+        lookup = self._rung_lookups.get(rung_index)
+        if lookup is None:
+            lookup = _RungLookup(self.built.tables[rung_index])
+            self._rung_lookups[rung_index] = lookup
+        return lookup
+
+    def _run_query(self, plan: _WavePlan, i: int, k: int, stop_k: int) -> Task:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         d = self.data.shape[1]
-        if query.size != d:
-            raise ValueError(f"query has d={query.size}, index expects {d}")
         built = self.built
         params = built.params
         codec = built.codec
         machine = self.machine
         stats = QueryStats()
+        query = plan.queries[i]
 
         # Hash the query once; rungs reuse the projections (Sec. 5.3).
-        step = OpCounts(projection_scalar_ops=d * params.L * params.m)
-        stats.ops.add(step)
-        yield Compute(machine.compute_ns(step))
-        projections = built.bank.project(query)
+        # The plan materializes the whole wave's hash state on first
+        # touch; this member charges its own share of the Compute cost.
+        # The constant steps increment their counters directly — same
+        # arithmetic as ``ops.add(OpCounts(...))`` without touching the
+        # six zero fields on every simulated event.
+        ops = stats.ops
+        ops.projection_scalar_ops += d * params.L * params.m
+        yield Compute(self._proj_ns)
 
         pool_ids = np.empty(0, dtype=np.int64)
         pool_dists = np.empty(0, dtype=np.float64)
+        seen: np.ndarray | None = None
 
         for rung_index, radius in enumerate(built.ladder):
             stats.rungs_searched += 1
-            step = OpCounts(rounds=1, projection_scalar_ops=params.L * params.m)
-            stats.ops.add(step)
-            yield Compute(machine.compute_ns(step))
-            hash_values = built.bank.mix32(built.bank.codes_for_radius(projections, radius))[0]
-            slots, fingerprints = codec.split_hash(hash_values)
+            ops.rounds += 1
+            ops.projection_scalar_ops += params.L * params.m
+            yield Compute(self._rung_ns)
+            _, _, fingerprints, present, addresses = plan.rung(rung_index, radius)
 
             # DRAM occupancy filter: skip I/O for empty buckets (exact
-            # membership of the 32-bit value; see TableHandle).
-            rung_tables = built.tables[rung_index]
-            probes: list[tuple[OnStorageHashTable, int, int]] = []
-            for l in range(params.L):
-                stats.buckets_probed += 1
-                handle = rung_tables[l]
-                if handle.contains(int(hash_values[l])):
-                    probes.append((handle.table, int(slots[l]), int(fingerprints[l])))
-            step = OpCounts(bucket_lookups=params.L)
-            stats.ops.add(step)
-            yield Compute(machine.compute_ns(step))
+            # membership of the 32-bit value; see _RungLookup).
+            stats.buckets_probed += params.L
+            probe_cols = np.flatnonzero(present[i])
+            ops.bucket_lookups += params.L
+            yield Compute(self._filter_ns)
 
             budget = params.S
             collected: list[np.ndarray] = []
-            if probes:
+            if probe_cols.size:
+                row_addresses = addresses[i]
+                row_fps = fingerprints[i]
                 # Step 1: hash-table slot reads, all in one async batch.
-                slot_reads = [(table.slot_address(slot), SLOT_SIZE) for table, slot, _ in probes]
+                slot_reads = [(int(row_addresses[l]), SLOT_SIZE) for l in probe_cols]
                 stats.ios_issued += len(slot_reads)
                 raw_slots = yield ReadBatch(slot_reads)
-                heads = [
-                    (OnStorageHashTable.parse_slot(raw), fp)
-                    for raw, (_, _, fp) in zip(raw_slots, probes)
-                ]
+                heads = np.frombuffer(b"".join(raw_slots), dtype="<u8")
                 # Step 2: first bucket block of every non-empty bucket.
-                pending = [(address, fp) for address, fp in heads if address != NULL_ADDRESS]
+                pending = [
+                    (int(address), int(row_fps[l]))
+                    for address, l in zip(heads, probe_cols)
+                    if address != NULL_ADDRESS
+                ]
                 stats.nonempty_buckets += len(pending)
                 while pending and budget > 0:
                     reads = [(address, built.block_size) for address, _ in pending]
@@ -248,9 +419,31 @@ class E2LSHoSIndex:
 
             # Step 3: fingerprint-filtered candidates -> true distances.
             if collected:
-                candidates = np.unique(np.concatenate(collected))
-                new = candidates[~np.isin(candidates, pool_ids, assume_unique=True)]
+                # Sorted-unique candidates minus the pool, exactly as
+                # ``np.unique`` + ``~np.isin(..., pool_ids)`` would give,
+                # via one sort and a seen-bitmap over the n objects —
+                # numpy's hash-based unique and isin's mergesort dominate
+                # the event loop otherwise.
+                cand = np.concatenate(collected)
+                cand.sort(kind="stable")
+                if cand.size > 1:
+                    keep = np.empty(cand.size, dtype=bool)
+                    keep[0] = True
+                    np.not_equal(cand[1:], cand[:-1], out=keep[1:])
+                    candidates = cand[keep]
+                else:
+                    candidates = cand
+                # Bitmap over the live object ids (inserts may have
+                # grown the dataset past the build-time params.n).
+                n_objects = self.data.shape[0]
+                if seen is None or seen.size < n_objects:
+                    grown = np.zeros(n_objects, dtype=bool)
+                    if seen is not None:
+                        grown[: seen.size] = seen
+                    seen = grown
+                new = candidates[~seen[candidates]]
                 if new.size:
+                    seen[new] = True
                     diffs = self.data[new].astype(np.float64) - query.astype(np.float64)
                     dists = np.sqrt(np.einsum("nd,nd->n", diffs, diffs))
                     stats.candidates_checked += int(new.size)
@@ -277,17 +470,85 @@ class E2LSHoSIndex:
     def run(
         self,
         queries: np.ndarray,
-        engine: AsyncIOEngine,
+        engine: AsyncIOEngine | None = None,
         k: int = 1,
         workers: int = 1,
+        *,
+        mode: str = "async",
+        cache: PageCache | None = None,
     ) -> BatchResult:
-        """Answer all ``queries`` by interleaving their tasks on ``engine``."""
+        """Answer all ``queries`` as one wave, under either execution mode.
+
+        ``mode="async"`` (default) interleaves the wave's tasks on the
+        given :class:`~repro.storage.engine.AsyncIOEngine` — the paper's
+        deep-queue asynchronous execution (Sec. 5.4, Eq. 7).
+
+        ``mode="mmap_sync"`` drives the same tasks against a
+        :class:`~repro.storage.page_cache.PageCache` instead: every
+        index read becomes a blocking page-cache access and queries run
+        one after another with no I/O overlap (the Sec. 6.5 mmap
+        baseline).  Pass ``cache=`` and leave ``engine`` as ``None``.
+        The returned :class:`BatchResult` synthesizes its engine figures
+        from the blocking walk — ``stall_ns`` absorbs all time the CPU
+        spent waiting on the cache.
+        """
         queries = np.asarray(queries, dtype=np.float32)
         if queries.ndim == 1:
             queries = queries[None, :]
-        tasks = [self.query_task(row, k=k) for row in queries]
-        result = engine.run(tasks, workers=workers)
-        return BatchResult(answers=list(result.results), engine=result)
+        if mode == "async":
+            if engine is None:
+                raise ValueError("mode='async' needs an engine")
+            if cache is not None:
+                raise ValueError("mode='async' takes no cache; pass mode='mmap_sync'")
+            tasks = self.query_tasks(queries, k=k)
+            result = engine.run(tasks, workers=workers)
+            return BatchResult(answers=list(result.results), engine=result)
+        if mode != "mmap_sync":
+            raise ValueError(f"unknown mode {mode!r}; expected 'async' or 'mmap_sync'")
+        if cache is None:
+            raise ValueError("mode='mmap_sync' needs a cache")
+        if engine is not None:
+            raise ValueError("mode='mmap_sync' drives the page cache; leave engine=None")
+        clock = 0.0
+        compute_ns = 0.0
+        io_count = 0
+        answers: list[QueryAnswer] = []
+        finish_times: list[float] = []
+        for task in self.query_tasks(queries, k=k):
+            send_value = None
+            while True:
+                try:
+                    action = task.send(send_value)
+                except StopIteration as stop:
+                    answers.append(stop.value)
+                    finish_times.append(clock)
+                    break
+                send_value = None
+                if isinstance(action, Compute):
+                    clock += action.duration_ns
+                    compute_ns += action.duration_ns
+                elif isinstance(action, Read):
+                    send_value, clock = cache.read(clock, action.address, action.length)
+                    io_count += 1
+                elif isinstance(action, ReadBatch):
+                    payload = []
+                    for address, length in action.requests:
+                        data, clock = cache.read(clock, address, length)
+                        payload.append(data)
+                    io_count += len(action.requests)
+                    send_value = payload
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unsupported action {action!r}")
+        synthesized = EngineResult(
+            makespan_ns=clock,
+            results=list(answers),
+            finish_times_ns=finish_times,
+            io_count=io_count,
+            compute_ns=compute_ns,
+            io_cpu_ns=0.0,
+            stall_ns=max(0.0, clock - compute_ns),
+        )
+        return BatchResult(answers=answers, engine=synthesized)
 
     def run_mmap_sync(
         self,
@@ -295,37 +556,15 @@ class E2LSHoSIndex:
         cache: PageCache,
         k: int = 1,
     ) -> tuple[list[QueryAnswer], float]:
-        """Synchronous memory-mapped execution (Sec. 6.5 baseline).
+        """Deprecated alias for ``run(queries, mode="mmap_sync", cache=cache)``.
 
-        Every index read becomes a blocking page-cache access; queries
-        run one after another with no I/O overlap.  Returns the answers
-        and the total simulated time.
+        Returns the legacy ``(answers, total_simulated_ns)`` pair; new
+        code should call :meth:`run` and read the :class:`BatchResult`.
         """
-        queries = np.asarray(queries, dtype=np.float32)
-        if queries.ndim == 1:
-            queries = queries[None, :]
-        clock = 0.0
-        answers: list[QueryAnswer] = []
-        for row in queries:
-            task = self.query_task(row, k=k)
-            send_value = None
-            while True:
-                try:
-                    action = task.send(send_value)
-                except StopIteration as stop:
-                    answers.append(stop.value)
-                    break
-                send_value = None
-                if isinstance(action, Compute):
-                    clock += action.duration_ns
-                elif isinstance(action, Read):
-                    send_value, clock = cache.read(clock, action.address, action.length)
-                elif isinstance(action, ReadBatch):
-                    payload = []
-                    for address, length in action.requests:
-                        data, clock = cache.read(clock, address, length)
-                        payload.append(data)
-                    send_value = payload
-                else:  # pragma: no cover - defensive
-                    raise TypeError(f"unsupported action {action!r}")
-        return answers, clock
+        warnings.warn(
+            "run_mmap_sync is deprecated; use run(queries, mode='mmap_sync', cache=cache)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        batch = self.run(queries, k=k, mode="mmap_sync", cache=cache)
+        return batch.answers, batch.engine.makespan_ns

@@ -137,6 +137,26 @@ class CompoundHashBank:
             raise ValueError(f"points have d={points.shape[1]}, bank expects {self.d}")
         return (points @ self.a).astype(np.float64)
 
+    def project_rows(self, points: np.ndarray) -> np.ndarray:
+        """Batch-invariant dot products, shape (n, L * m), float64.
+
+        Same mathematics as :meth:`project`, but computed with a
+        reduction whose per-row result is independent of how many rows
+        share the call: row ``i`` of ``project_rows(Q)`` is bitwise
+        identical to ``project_rows(Q[i:i+1])``.  BLAS matmul does not
+        guarantee this (it blocks/reorders the float32 accumulation by
+        operand shape), so the *query* hot path hashes through this
+        method — a query planned inside a wave of B must land in exactly
+        the buckets it would probe alone.  Build-time bulk hashing keeps
+        the faster :meth:`project`.
+        """
+        points = np.asarray(points, dtype=np.float32)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.shape[1] != self.d:
+            raise ValueError(f"points have d={points.shape[1]}, bank expects {self.d}")
+        return np.einsum("nd,dm->nm", points, self.a).astype(np.float64)
+
     def codes_for_radius(self, projections: np.ndarray, radius: float) -> np.ndarray:
         """Lattice codes ``floor(proj / (w R) + b)`` of shape (n, L, m)."""
         if radius <= 0:

@@ -60,7 +60,8 @@ def run(
         interface=INTERFACE_PROFILES["mmap_sync"],
         capacity_bytes=max(index.dram_bytes, 1),
     )
-    _, sync_total_ns = index.run_mmap_sync(data.queries, cache, k=k)
+    sync_batch = index.run(data.queries, k=k, mode="mmap_sync", cache=cache)
+    sync_total_ns = sync_batch.engine.makespan_ns
     sync_ms = sync_total_ns / len(data.queries) / 1e6
 
     return SyncVsAsync(

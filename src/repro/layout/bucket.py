@@ -100,8 +100,21 @@ def encode_bucket(
     return addresses[0]
 
 
+#: Decoded-block memo keyed by ``(id(codec), raw)``; the value pins the
+#: codec so its ``id`` cannot be recycled while the entry lives.  Skewed
+#: query streams re-read the same hot buckets, and decoding is a pure
+#: function of the bytes, so sharing the (read-only) decoded arrays is
+#: safe.  Cleared wholesale at the cap (~16 MiB of 512 B blocks).
+_DECODE_CACHE: dict[tuple[int, bytes], tuple[ObjectInfoCodec, "BucketBlock"]] = {}
+_DECODE_CACHE_CAP = 32768
+
+
 def decode_block(codec: ObjectInfoCodec, raw: bytes) -> BucketBlock:
     """Parse one raw block into a :class:`BucketBlock`."""
+    key = (id(codec), raw)
+    hit = _DECODE_CACHE.get(key)
+    if hit is not None:
+        return hit[1]
     if len(raw) < BLOCK_HEADER_SIZE:
         raise ValueError(f"block of {len(raw)} bytes is shorter than the header")
     next_address, count = _HEADER.unpack_from(raw)
@@ -110,7 +123,13 @@ def decode_block(codec: ObjectInfoCodec, raw: bytes) -> BucketBlock:
     if end > len(raw):
         raise ValueError(f"block claims {count} entries but is only {len(raw)} bytes")
     object_ids, fingerprints = codec.unpack(raw[start:end])
-    return BucketBlock(next_address=next_address, object_ids=object_ids, fingerprints=fingerprints)
+    block = BucketBlock(
+        next_address=next_address, object_ids=object_ids, fingerprints=fingerprints
+    )
+    if len(_DECODE_CACHE) >= _DECODE_CACHE_CAP:
+        _DECODE_CACHE.clear()
+    _DECODE_CACHE[key] = (codec, block)
+    return block
 
 
 def read_bucket(

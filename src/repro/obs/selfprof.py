@@ -63,6 +63,25 @@ class LoopProfile:
         """Loop iterations that processed an event."""
         return self.engine_steps + self.flushes + self.hedges + self.arrivals
 
+    def checkpoint(self) -> dict[str, float]:
+        """Wall figures as of *now*, usable mid-run.
+
+        Unlike :meth:`as_dict` this does not require :meth:`stop`; the
+        service's ``--profile-interval-us`` sampler calls it per metrics
+        tick so vectorization wins show up per-phase, not just as one
+        end-of-run average.
+        """
+        if self._wall_start is not None:
+            wall = time.perf_counter() - self._wall_start
+        else:
+            wall = self.wall_seconds
+        events = self.events_total
+        return {
+            "events_total": float(events),
+            "wall_seconds": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+        }
+
     @property
     def events_per_sec(self) -> float:
         """Wall-clock event throughput of the simulator itself."""

@@ -70,18 +70,23 @@ class DispatchConfig:
 class _Lane:
     """Per-replica admission queue.
 
-    ``pending`` holds ``(query_id, task, enqueue_ns)`` in enqueue order,
-    so the time-trigger deadline is always the *oldest surviving*
+    ``pending`` holds ``(query_id, query, k, enqueue_ns)`` in enqueue
+    order, so the time-trigger deadline is always the *oldest surviving*
     entry's — cancelling a hedge loser out of the middle (or the front)
     of the queue never distorts younger entries' batching windows.
+    Query *tasks* are planned at flush time, not admission time: a full
+    lane flushes as one vectorized wave
+    (:meth:`~repro.core.e2lshos.E2LSHoSIndex.query_tasks`), and a task
+    is pure planning until the engine steps it, so deferring creation
+    has zero simulated effect.
     """
 
-    pending: list[tuple[int, Any, float]] = field(default_factory=list)
+    pending: list[tuple[int, Any, int, float]] = field(default_factory=list)
     outstanding: int = 0
 
     @property
     def deadline_ns(self) -> float:
-        return self.pending[0][2] if self.pending else math.inf
+        return self.pending[0][3] if self.pending else math.inf
 
 
 @dataclass
@@ -109,6 +114,7 @@ class Dispatcher:
         stats: ServiceStats,
         routing: RoutingConfig | None = None,
         tracer: Tracer = NULL_TRACER,
+        vectorize: bool = True,
     ) -> None:
         self.sharded = sharded
         self.sessions = self._check_sessions(sharded, sessions)
@@ -116,8 +122,17 @@ class Dispatcher:
         self.stats = stats
         self.routing = routing or RoutingConfig()
         self.tracer = tracer
+        #: Flush full lanes as one planned wave (``query_tasks`` +
+        #: ``submit_batch``).  ``False`` keeps the scalar per-sub-query
+        #: path; both produce byte-identical reports and traces.
+        self.vectorize = vectorize
         self.router = ReplicaRouter(self.routing, n_shards=sharded.n_shards)
         self._lanes = [[_Lane() for _ in row] for row in self.sessions]
+        #: Total queued (unflushed) sub-queries across all lanes.
+        self._pending_count = 0
+        #: Lane time-trigger deadlines, lazily revalidated against the
+        #: lanes on peek (a cancelled front entry re-keys its lane).
+        self._flush_heap: list[tuple[float, int, int]] = []
         #: (query_id, shard) -> admission time, for hedge-anchor latencies.
         self._admit_ns: dict[tuple[int, int], float] = {}
         #: (query_id, shard) -> armed hedge timer.
@@ -165,9 +180,9 @@ class Dispatcher:
                 return False
             targets.append(replica)
         hedge_delay = self.router.hedge_delay_ns()
-        for shard_id, (shard, replica) in enumerate(zip(self.sharded.shards, targets)):
+        for shard_id, replica in enumerate(targets):
             self.router.commit(shard_id, replica)
-            self._enqueue(shard_id, replica, query_id, shard.query_task(query, k=k), now_ns)
+            self._enqueue(shard_id, replica, query_id, query, k, now_ns)
             self._admit_ns[(query_id, shard_id)] = now_ns
             # A single-lane shard has nowhere to hedge to; arming a timer
             # would only litter the ledger with suppressed fires.
@@ -184,13 +199,19 @@ class Dispatcher:
         shard_id: int,
         replica: int,
         query_id: int,
-        task: Any,
+        query: np.ndarray,
+        k: int,
         now_ns: float,
         hedge: bool = False,
     ) -> None:
         lane = self._lanes[shard_id][replica]
-        lane.pending.append((query_id, task, now_ns))
+        lane.pending.append((query_id, query, k, now_ns))
         lane.outstanding += 1
+        self._pending_count += 1
+        if len(lane.pending) == 1:
+            heapq.heappush(
+                self._flush_heap, (now_ns + self.config.max_delay_ns, shard_id, replica)
+            )
         self.stats.queue_depth_samples.append(len(lane.pending))
         self.tracer.attempt_enqueued(query_id, shard_id, replica, hedge, now_ns)
 
@@ -199,33 +220,77 @@ class Dispatcher:
     @property
     def has_pending(self) -> bool:
         """True while any lane holds unflushed sub-queries."""
-        return any(lane.pending for row in self._lanes for lane in row)
+        return self._pending_count > 0
 
     @property
     def next_flush_ns(self) -> float:
         """Earliest time trigger across lanes (``inf`` when all empty)."""
-        deadlines = [
-            lane.deadline_ns + self.config.max_delay_ns
-            for row in self._lanes
-            for lane in row
-            if lane.pending
-        ]
-        return min(deadlines, default=math.inf)
+        heap = self._flush_heap
+        while heap:
+            deadline, shard_id, replica = heap[0]
+            lane = self._lanes[shard_id][replica]
+            if not lane.pending:
+                heapq.heappop(heap)
+                continue
+            actual = lane.deadline_ns + self.config.max_delay_ns
+            if actual != deadline:
+                heapq.heapreplace(heap, (actual, shard_id, replica))
+                continue
+            return deadline
+        return math.inf
 
     def flush_due(self, now_ns: float) -> None:
         """Fire every lane whose time trigger has passed."""
-        for shard_id, row in enumerate(self._lanes):
-            for replica, lane in enumerate(row):
-                if lane.pending and lane.deadline_ns + self.config.max_delay_ns <= now_ns:
-                    self._flush(shard_id, replica, now_ns)
+        heap = self._flush_heap
+        while heap:
+            deadline, shard_id, replica = heap[0]
+            lane = self._lanes[shard_id][replica]
+            if not lane.pending:
+                heapq.heappop(heap)
+                continue
+            actual = lane.deadline_ns + self.config.max_delay_ns
+            if actual != deadline:
+                heapq.heapreplace(heap, (actual, shard_id, replica))
+                continue
+            if deadline > now_ns:
+                return
+            heapq.heappop(heap)
+            self._flush(shard_id, replica, now_ns)
 
     def _flush(self, shard_id: int, replica: int, now_ns: float) -> None:
         lane = self._lanes[shard_id][replica]
-        self.stats.batch_sizes.append(len(lane.pending))
-        for query_id, task, _ in lane.pending:
-            self.sessions[shard_id][replica].submit(task, ready_ns=now_ns, tag=query_id)
+        pending = lane.pending
+        if not pending:
+            return
+        session = self.sessions[shard_id][replica]
+        shard = self.sharded.shards[shard_id]
+        self.stats.batch_sizes.append(len(pending))
+        self._pending_count -= len(pending)
+        if not self.vectorize or len(pending) == 1:
+            for query_id, query, k, _ in pending:
+                session.submit(shard.query_task(query, k=k), ready_ns=now_ns, tag=query_id)
+        else:
+            # One planned wave per run of equal k (k is constant within a
+            # service run, so this is one wave in practice).
+            start, n = 0, len(pending)
+            while start < n:
+                k = pending[start][2]
+                end = start + 1
+                while end < n and pending[end][2] == k:
+                    end += 1
+                if end - start == 1:
+                    query_id, query, _, _ = pending[start]
+                    session.submit(shard.query_task(query, k=k), ready_ns=now_ns, tag=query_id)
+                else:
+                    chunk = pending[start:end]
+                    tasks = shard.query_tasks(np.stack([entry[1] for entry in chunk]), k=k)
+                    session.submit_batch(
+                        tasks, ready_ns=now_ns, tags=[entry[0] for entry in chunk]
+                    )
+                start = end
+        for query_id, _, _, _ in pending:
             self.tracer.attempt_flushed(query_id, shard_id, replica, now_ns)
-        lane.pending.clear()
+        pending.clear()
 
     # -- introspection (timeline sampling) ------------------------------------
 
@@ -295,9 +360,8 @@ class Dispatcher:
                 self.tracer.hedge_suppressed(query_id, shard_id, now_ns)
                 continue
             state.secondary = secondary
-            task = self.sharded.shards[shard_id].query_task(state.query, k=state.k)
             self.tracer.hedge_fired(query_id, shard_id, secondary, now_ns)
-            self._enqueue(shard_id, secondary, query_id, task, now_ns, hedge=True)
+            self._enqueue(shard_id, secondary, query_id, state.query, state.k, now_ns, hedge=True)
             self.stats.hedges_issued += 1
             if len(lanes[secondary].pending) >= self.config.max_batch:
                 self._flush(shard_id, secondary, now_ns)
@@ -306,10 +370,11 @@ class Dispatcher:
     def _cancel_queued(self, shard_id: int, replica: int, query_id: int) -> bool:
         """Drop a still-queued copy of (query_id, shard) from its lane."""
         lane = self._lanes[shard_id][replica]
-        for position, (queued_id, _, _) in enumerate(lane.pending):
-            if queued_id == query_id:
+        for position, entry in enumerate(lane.pending):
+            if entry[0] == query_id:
                 del lane.pending[position]
                 lane.outstanding -= 1
+                self._pending_count -= 1
                 return True
         return False
 

@@ -268,6 +268,8 @@ def run_scenario(
     tracer: Tracer | None = None,
     metrics_interval_ns: float | None = None,
     index: ScenarioIndex | None = None,
+    vectorize: bool = True,
+    profile_interval_ns: float | None = None,
 ) -> ScenarioResult:
     """Run one scenario end to end and report against its SLO.
 
@@ -275,6 +277,11 @@ def run_scenario(
     (e.g. the routing-policy sweep in ``experiments/serving_replicas``);
     it must have been built from a spec with the same data, serving, and
     fault configuration — only the workload and SLO may differ.
+
+    ``vectorize`` and ``profile_interval_ns`` are *execution* knobs, not
+    part of the spec: they change how fast the simulator runs (and how
+    its wall throughput is sampled), never the simulated outcome, so
+    they do not participate in the spec's JSON round-trip.
     """
     if index is None:
         index = build_scenario_index(spec)
@@ -285,6 +292,8 @@ def run_scenario(
         workers_per_shard=spec.serving.workers_per_shard,
         tracer=tracer,
         metrics_interval_ns=metrics_interval_ns,
+        vectorize=vectorize,
+        profile_interval_ns=profile_interval_ns,
     )
     pool = index.dataset.queries
     workload = spec.workload

@@ -68,6 +68,8 @@ class QueryService:
         workers_per_shard: int = 1,
         tracer: Tracer | None = None,
         metrics_interval_ns: float | None = None,
+        vectorize: bool = True,
+        profile_interval_ns: float | None = None,
     ) -> None:
         self.sharded = sharded
         self.dispatch = dispatch or DispatchConfig()
@@ -79,6 +81,18 @@ class QueryService:
         #: Simulated-time sampling period for the metrics timeline;
         #: ``None`` disables sampling.
         self.metrics_interval_ns = metrics_interval_ns
+        #: Flush full dispatcher lanes as vectorized waves; ``False``
+        #: runs the scalar per-sub-query path (same reports and traces,
+        #: byte for byte — only wall-clock speed differs).
+        self.vectorize = vectorize
+        #: Simulated-time sampling period for the *wall-clock* loop
+        #: profile timeline; ``None`` disables it.  Wall figures are
+        #: non-deterministic, so they live next to the metrics export,
+        #: never in traces or reports.
+        self.profile_interval_ns = profile_interval_ns
+        #: Per-phase wall events/sec timeline of the last run (``None``
+        #: unless ``profile_interval_ns`` was set).
+        self.profile_timeline: Timeline | None = None
         #: Merged answers of the last run, keyed by query id.
         self.answers: dict[int, QueryAnswer] = {}
         #: Collector of the last run.
@@ -179,6 +193,7 @@ class QueryService:
             self.stats,
             routing=self.routing,
             tracer=tracer,
+            vectorize=self.vectorize,
         )
         n_shards = self.sharded.n_shards
         flat_sessions = [
@@ -215,24 +230,48 @@ class QueryService:
                 )
 
         timeline = self.timeline
+        self.profile_timeline = profile_timeline = (
+            Timeline(self.profile_interval_ns)
+            if self.profile_interval_ns is not None
+            else None
+        )
+        last_wall = {"events": 0.0, "seconds": 0.0}
+
+        def profile_sample(t_ns: float) -> dict:
+            """Per-interval wall events/sec (delta since the last tick)."""
+            point = profile.checkpoint()
+            events = point["events_total"] - last_wall["events"]
+            seconds = point["wall_seconds"] - last_wall["seconds"]
+            last_wall["events"] = point["events_total"]
+            last_wall["seconds"] = point["wall_seconds"]
+            return {
+                "events": events,
+                "wall_seconds": seconds,
+                "events_per_sec": events / seconds if seconds > 0 else 0.0,
+            }
+
         profile.start()
-        while (
-            arrival_heap
-            or dispatcher.has_pending
-            or any(session.has_work for _, _, session in flat_sessions)
-        ):
+        while True:
+            # The loop runs while any source can still produce an event;
+            # all-inf timestamps mean no arrivals, no queued or parked
+            # work, and no live hedge timers — i.e. the run is over.
             t_arrival = arrival_heap[0][0] if arrival_heap else math.inf
             t_flush = dispatcher.next_flush_ns
             t_hedge = dispatcher.next_hedge_ns
-            shard_id, replica, session = min(
-                flat_sessions, key=lambda entry: entry[2].next_ready_ns
-            )
+            shard_id, replica, session = flat_sessions[0]
             t_engine = session.next_ready_ns
+            for entry in flat_sessions:
+                t_entry = entry[2].next_ready_ns
+                if t_entry < t_engine:
+                    t_engine = t_entry
+                    shard_id, replica, session = entry
             t_next = min(t_arrival, t_flush, t_hedge, t_engine)
             if math.isinf(t_next):
-                break  # pragma: no cover - defensive
+                break
             if timeline is not None:
                 timeline.advance(t_next, sample)
+            if profile_timeline is not None:
+                profile_timeline.advance(t_next, profile_sample)
 
             # Contract: completions -> flushes -> hedges -> arrivals.
             if t_engine <= min(t_flush, t_hedge, t_arrival):
@@ -315,6 +354,9 @@ class QueryService:
             "metrics": self.metrics.snapshot(),
             "timeline": self.timeline.as_dict() if self.timeline else None,
             "wall": self.loop_profile.as_dict(),
+            "wall_timeline": (
+                self.profile_timeline.as_dict() if self.profile_timeline else None
+            ),
         }
 
     @staticmethod

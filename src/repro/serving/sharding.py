@@ -180,6 +180,12 @@ class Shard:
             query, k=k, id_map=self.global_ids, stop_k=self.stop_k(k)
         )
 
+    def query_tasks(self, queries: np.ndarray, k: int) -> list[Task]:
+        """One planned wave of sub-query tasks reporting global IDs."""
+        return self.index.query_tasks(
+            queries, k=k, id_map=self.global_ids, stop_k=self.stop_k(k)
+        )
+
 
 @dataclass
 class ShardedBatchResult:

@@ -18,7 +18,6 @@ losers cancelled while still queued.
 from __future__ import annotations
 
 import math
-import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -109,20 +108,19 @@ class ServiceStats:
         """Freeze the run into a :class:`ServiceReport`.
 
         ``shard_results`` holds, per shard, the per-replica
-        :class:`EngineResult` list.  A bare :class:`EngineResult` is
-        still accepted as a single-copy shard, but that flat form is
-        deprecated — wrap each result in a one-element list.
+        :class:`EngineResult` list.  The pre-replication flat form (a
+        bare :class:`EngineResult` per shard) went through a
+        DeprecationWarning cycle and is now rejected — wrap each result
+        in a one-element list.
         """
         if any(isinstance(row, EngineResult) for row in shard_results):
-            warnings.warn(
-                "passing bare EngineResults to ServiceStats.report is "
-                "deprecated; pass one list of per-replica results per shard",
-                DeprecationWarning,
-                stacklevel=2,
+            raise TypeError(
+                "ServiceStats.report takes one list of per-replica "
+                "EngineResults per shard; the flat per-shard form was "
+                "deprecated and has been removed — wrap each result in a "
+                "one-element list"
             )
-        nested: list[list[EngineResult]] = [
-            [row] if isinstance(row, EngineResult) else list(row) for row in shard_results
-        ]
+        nested: list[list[EngineResult]] = [list(row) for row in shard_results]
         if not self.records:
             if self.rejected == 0:
                 raise ValueError("no completed queries to report on")

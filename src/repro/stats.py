@@ -39,12 +39,17 @@ class OpCounts:
 
     def add(self, other: "OpCounts") -> None:
         """Accumulate ``other`` into ``self`` in place."""
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for name in _OP_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
 
     def scaled(self, factor: float) -> "OpCounts":
         """Return a copy with every counter multiplied by ``factor``."""
-        return OpCounts(**{f.name: int(getattr(self, f.name) * factor) for f in fields(self)})
+        return OpCounts(**{name: int(getattr(self, name) * factor) for name in _OP_FIELDS})
+
+
+# Resolved once at import: ``dataclasses.fields`` is surprisingly hot when
+# ``add`` runs per simulated Compute step on the query path.
+_OP_FIELDS = tuple(f.name for f in fields(OpCounts))
 
 
 @dataclass

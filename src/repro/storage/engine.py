@@ -54,7 +54,7 @@ __all__ = [
 Task = Generator["Read | ReadBatch | Compute", Any, Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Read:
     """Asynchronous read of ``length`` bytes at byte ``address``."""
 
@@ -62,7 +62,7 @@ class Read:
     length: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadBatch:
     """Several reads issued back-to-back; resumes when all complete."""
 
@@ -72,7 +72,7 @@ class ReadBatch:
         object.__setattr__(self, "requests", tuple(requests))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Spend ``duration_ns`` of CPU time."""
 
@@ -142,7 +142,7 @@ class TaskProfile:
     parked_ns: float | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Completion:
     """One finished task, as reported by :meth:`EngineSession.step`."""
 
@@ -159,13 +159,29 @@ class Completion:
     profile: TaskProfile | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _TaskState:
     index: int
     generator: Task
     worker: int
     tag: Any = None
     send_value: Any = None
+
+
+@dataclass(slots=True)
+class _Wave:
+    """A micro-batch of tasks sharing one ready time and one heap entry.
+
+    :meth:`EngineSession.submit_batch` keys the ready heap once per wave
+    instead of once per task; :meth:`EngineSession.step` consumes the
+    members in submission order before popping the entry.  Because every
+    member shares the wave's (ready time, sequence number), the pop
+    order is exactly what per-task submission would have produced — the
+    wave changes bookkeeping cost, never schedule order.
+    """
+
+    states: list[_TaskState]
+    cursor: int = 0
 
 
 class EngineSession:
@@ -188,7 +204,7 @@ class EngineSession:
         self.engine = engine
         self.workers = workers
         engine.volume.reset()
-        self._ready: list[tuple[float, int, _TaskState]] = []
+        self._ready: list[tuple[float, int, _TaskState | _Wave]] = []
         self._seq = 0
         self._worker_free = [0.0] * workers
         self._results: list[Any] = []
@@ -223,6 +239,48 @@ class EngineSession:
         self._seq += 1
         return index
 
+    def submit_batch(
+        self,
+        tasks: Sequence[Task],
+        ready_ns: float = 0.0,
+        tags: Sequence[Any] | None = None,
+    ) -> list[int]:
+        """Enqueue a wave of tasks sharing one ready time.
+
+        Equivalent to calling :meth:`submit` once per task in order, but
+        the whole wave costs one heap entry and the per-task result
+        slots are extended in bulk — the fast path the dispatcher's
+        micro-batch flush uses.  Returns the submission indices.
+        """
+        if ready_ns < 0:
+            raise ValueError(f"ready_ns must be non-negative, got {ready_ns}")
+        tasks = list(tasks)
+        if tags is None:
+            tags = [None] * len(tasks)
+        elif len(tags) != len(tasks):
+            raise ValueError(f"{len(tasks)} tasks need {len(tasks)} tags, got {len(tags)}")
+        if not tasks:
+            return []
+        base = len(self._results)
+        workers = self.workers
+        states = [
+            _TaskState(
+                index=base + offset,
+                generator=task,
+                worker=(base + offset) % workers,
+                tag=tag,
+            )
+            for offset, (task, tag) in enumerate(zip(tasks, tags))
+        ]
+        self._results.extend([None] * len(tasks))
+        self._finish_times.extend([0.0] * len(tasks))
+        if self._profiles is not None:
+            for state in states:
+                self._profiles[state.index] = TaskProfile()
+        heapq.heappush(self._ready, (ready_ns, self._seq, _Wave(states)))
+        self._seq += 1
+        return [state.index for state in states]
+
     # -- stepping -------------------------------------------------------------
 
     @property
@@ -244,7 +302,19 @@ class EngineSession:
         if not self._ready:
             return None
         engine = self.engine
-        ready_ns, _, state = heapq.heappop(self._ready)
+        ready_ns, _, item = self._ready[0]
+        if type(item) is _Wave:
+            # Take the next member in submission order; the wave entry
+            # keeps its original (ready, seq) key while partially
+            # consumed, so it sorts exactly where the remaining members'
+            # individual entries would have.
+            state = item.states[item.cursor]
+            item.cursor += 1
+            if item.cursor == len(item.states):
+                heapq.heappop(self._ready)
+        else:
+            heapq.heappop(self._ready)
+            state = item
         now = max(ready_ns, self._worker_free[state.worker])
         profile = None if self._profiles is None else self._profiles[state.index]
         if profile is not None:

@@ -95,10 +95,38 @@ def test_mmap_sync_same_answers_slower(setup):
         interface=INTERFACE_PROFILES["mmap_sync"],
         capacity_bytes=storage.dram_bytes,
     )
-    answers, total_ns = storage.run_mmap_sync(queries, cache, k=1)
-    for sync_answer, async_answer in zip(answers, async_result.answers):
+    sync_result = storage.run(queries, k=1, mode="mmap_sync", cache=cache)
+    total_ns = sync_result.engine.makespan_ns
+    for sync_answer, async_answer in zip(sync_result.answers, async_result.answers):
         np.testing.assert_array_equal(sync_answer.ids, async_answer.ids)
     assert total_ns / len(queries) > async_result.mean_query_time_ns
+
+
+def test_run_mmap_sync_shim_warns_and_matches(setup):
+    data, queries, inmem, storage = setup
+    def mk_cache():
+        return PageCache(
+            volume=make_volume("cssd", 4),
+            store=storage.built.store,
+            interface=INTERFACE_PROFILES["mmap_sync"],
+            capacity_bytes=storage.dram_bytes,
+        )
+    batch = storage.run(queries, k=1, mode="mmap_sync", cache=mk_cache())
+    with pytest.warns(DeprecationWarning, match="mmap_sync"):
+        answers, total_ns = storage.run_mmap_sync(queries, mk_cache(), k=1)
+    assert total_ns == batch.engine.makespan_ns
+    for legacy, unified in zip(answers, batch.answers):
+        np.testing.assert_array_equal(legacy.ids, unified.ids)
+
+
+def test_run_mode_validation(setup):
+    data, queries, inmem, storage = setup
+    with pytest.raises(ValueError, match="needs an engine"):
+        storage.run(queries, k=1)
+    with pytest.raises(ValueError, match="needs a cache"):
+        storage.run(queries, k=1, mode="mmap_sync")
+    with pytest.raises(ValueError, match="unknown mode"):
+        storage.run(queries, k=1, mode="bogus")
 
 
 def test_alternate_block_size_same_answers(setup):

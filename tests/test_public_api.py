@@ -1,0 +1,34 @@
+"""The curated public surfaces of ``repro.core`` and ``repro.serving``.
+
+Every name in ``__all__`` must resolve (including the PEP 562 lazy
+loads), and the batch-first query API introduced with the vectorized
+hot path must be reachable from the package roots.
+"""
+
+import importlib
+
+import pytest
+
+
+@pytest.mark.parametrize("package", ["repro.core", "repro.serving"])
+def test_all_names_resolve(package):
+    module = importlib.import_module(package)
+    assert sorted(set(module.__all__)) == sorted(module.__all__)
+    for name in module.__all__:
+        assert getattr(module, name) is not None
+
+
+def test_unknown_attribute_raises():
+    core = importlib.import_module("repro.core")
+    with pytest.raises(AttributeError, match="no attribute"):
+        core.not_a_thing
+
+
+def test_batch_api_is_public():
+    core = importlib.import_module("repro.core")
+    assert "BatchResult" in core.__all__
+    index_cls = core.E2LSHoSIndex
+    assert callable(index_cls.query_tasks)
+    assert callable(index_cls.run)
+    serving = importlib.import_module("repro.serving")
+    assert callable(serving.Shard.query_tasks)

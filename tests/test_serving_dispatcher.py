@@ -252,7 +252,7 @@ def test_loser_cancellation_preserves_younger_entries_deadline(replicated, query
     # lane deadline is gone with it, not frozen at the duplicate's time.
     for shard_id, row in enumerate(dispatcher._lanes):
         for replica, lane in enumerate(row):
-            if lane.pending and lane.pending[0][2] == 100.0:
+            if lane.pending and lane.pending[0][3] == 100.0:
                 assert dispatcher._cancel_queued(shard_id, replica, 0)
                 assert lane.deadline_ns == math.inf  # no stale deadline
     # Primaries still flush on their own t=0 + 500 deadline.

@@ -136,9 +136,12 @@ def test_report_accepts_per_replica_rows_and_sums_per_shard():
     assert "replicas" in report.describe()
 
 
-def test_report_flat_results_warn_but_stay_single_copy():
-    with pytest.warns(DeprecationWarning, match="per-replica"):
-        report = filled_stats([1.0]).report([engine_result(io_count=7)])
+def test_report_rejects_flat_results():
+    """The pre-replication flat form finished its deprecation cycle."""
+    with pytest.raises(TypeError, match="per-replica"):
+        filled_stats([1.0]).report([engine_result(io_count=7)])
+    # The one-element-list form carries the same information.
+    report = filled_stats([1.0]).report([[engine_result(io_count=7)]])
     assert report.replica_io_counts == ((7,),)
     assert report.n_replicas == 1
     assert "replicas" not in report.describe()

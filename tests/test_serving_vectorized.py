@@ -1,0 +1,67 @@
+"""Wave execution A/B: ``vectorize=True`` must be invisible end to end.
+
+The dispatcher's vectorized flush path plans whole lane batches through
+``Shard.query_tasks`` and submits them as engine waves; with
+``vectorize=False`` it falls back to per-query ``query_task`` +
+``submit``.  Both must produce byte-identical service reports *and*
+byte-identical traces for every catalog scenario — the wave path only
+changes how fast the simulator's own loop runs.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.obs.trace import SpanTracer
+from repro.serving.catalog import CATALOG_NAMES, build_scenario
+from repro.serving.scenario import run_scenario
+
+
+def run_ab(name):
+    spec = build_scenario(name, quick=True)
+    results = []
+    for vectorize in (True, False):
+        tracer = SpanTracer()
+        result = run_scenario(spec, tracer=tracer, vectorize=vectorize)
+        results.append((result, tracer))
+    return results
+
+
+def trace_dump(tracer):
+    spans = [asdict(span) for _, span in sorted(tracer.spans.items())]
+    return json.dumps({"spans": spans, "rejected": tracer.rejected}, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", CATALOG_NAMES)
+def test_catalog_reports_and_traces_identical(name):
+    (wave, wave_tracer), (scalar, scalar_tracer) = run_ab(name)
+    wave_report = json.dumps(asdict(wave.report), sort_keys=True)
+    scalar_report = json.dumps(asdict(scalar.report), sort_keys=True)
+    assert wave_report == scalar_report
+    assert trace_dump(wave_tracer) == trace_dump(scalar_tracer)
+
+
+def test_vectorized_answers_match_scalar():
+    spec = build_scenario("steady-state", quick=True)
+    wave = run_scenario(spec, vectorize=True)
+    scalar = run_scenario(spec, vectorize=False)
+    assert wave.answers.keys() == scalar.answers.keys()
+    for qid, answer in wave.answers.items():
+        other = scalar.answers[qid]
+        assert list(answer.ids) == list(other.ids)
+        assert list(answer.distances) == list(other.distances)
+
+
+def test_profile_timeline_is_wall_only():
+    """The sampler hook never leaks wall figures into the simulated report."""
+    spec = build_scenario("steady-state", quick=True)
+    plain = run_scenario(spec)
+    profiled = run_scenario(spec, profile_interval_ns=200_000.0)
+    assert json.dumps(asdict(plain.report), sort_keys=True) == json.dumps(
+        asdict(profiled.report), sort_keys=True
+    )
+    timeline = profiled.service.profile_timeline
+    assert timeline is not None
+    assert timeline.samples, "profile sampler produced no samples"
+    assert all("events_per_sec" in row for row in timeline.samples)

@@ -328,3 +328,71 @@ def test_profile_sync_interface_charges_stall_as_io_wait():
     session.submit(reader_task([0]))
     (completion,) = session.drain()
     assert completion.profile.io_wait_ns >= DEVICE_PROFILES["cssd"].latency_ns * 0.5
+
+
+def test_submit_batch_equivalent_to_serial_submits():
+    """One wave entry replays exactly as N ordered submits."""
+    def tasks():
+        return [reader_task([i * 512 for i in range(4)]) for _ in range(5)]
+
+    engine, _ = make_engine()
+    session = engine.session(workers=2)
+    ids = session.submit_batch(tasks(), ready_ns=100.0, tags=list("abcde"))
+    wave = session.drain()
+
+    engine2, _ = make_engine()
+    session2 = engine2.session(workers=2)
+    serial_ids = [
+        session2.submit(task, ready_ns=100.0, tag=tag)
+        for task, tag in zip(tasks(), "abcde")
+    ]
+    serial = session2.drain()
+
+    assert ids == serial_ids == list(range(5))
+    assert [c.finish_ns for c in wave] == pytest.approx([c.finish_ns for c in serial])
+    assert [c.tag for c in wave] == [c.tag for c in serial]
+    assert [c.index for c in wave] == [c.index for c in serial]
+    assert session.result().makespan_ns == pytest.approx(session2.result().makespan_ns)
+    assert session.result().io_count == session2.result().io_count
+
+
+def test_submit_batch_interleaves_with_scalar_submissions():
+    engine, _ = make_engine()
+    session = engine.session()
+    session.submit(compute_task(50.0), ready_ns=0.0, tag="solo")
+    session.submit_batch(
+        [compute_task(10.0), compute_task(10.0)], ready_ns=5.0, tags=["w0", "w1"]
+    )
+    done = session.drain()
+    assert {c.tag for c in done} == {"solo", "w0", "w1"}
+    assert session.result().makespan_ns > 0
+
+
+def test_submit_batch_empty_is_noop():
+    engine, _ = make_engine()
+    session = engine.session()
+    assert session.submit_batch([]) == []
+    assert not session.has_work
+
+
+def test_submit_batch_validation():
+    engine, _ = make_engine()
+    session = engine.session()
+    with pytest.raises(ValueError):
+        session.submit_batch([compute_task(1.0)], ready_ns=-1.0)
+    with pytest.raises(ValueError):
+        session.submit_batch([compute_task(1.0)], tags=["a", "b"])
+
+
+def test_submit_batch_round_robins_workers_from_next_index():
+    """Wave members continue the same worker rotation scalar submits use."""
+    engine, _ = make_engine()
+    session = engine.session(workers=3)
+    session.submit(compute_task(30.0))  # index 0 -> worker 0
+    session.submit_batch([compute_task(30.0) for _ in range(4)])  # indices 1..4
+    done = sorted(session.drain(), key=lambda c: c.index)
+    # Workers 0/1/2 each run their tasks back to back; with 5 tasks of
+    # equal cost, indices 0 and 3 share worker 0, 1 and 4 share worker 1.
+    finish = {c.index: c.finish_ns for c in done}
+    assert finish[3] == pytest.approx(finish[0] + 30.0)
+    assert finish[4] == pytest.approx(finish[1] + 30.0)
