@@ -1,0 +1,168 @@
+"""Shared infrastructure for the ``repro lint`` static checker.
+
+A *rule* is a small class with an id (``DET001``), a one-line title,
+and a docstring stating the contract it enforces.  Rules receive one
+parsed module at a time (:class:`ModuleContext`) and yield
+:class:`Finding` objects; the engine (:mod:`repro.analysis.lint.engine`)
+handles file discovery, inline ``# repro: allow[RULE-ID]`` suppressions,
+and deterministic ordering of the output.
+
+Rules are registered by id via :func:`register`; the registry is the
+single source of truth for ``repro lint --list-rules`` and for
+validating suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import ClassVar
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "all_rules",
+    "import_aliases",
+    "dotted_name",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file:line:col."""
+
+    #: Path relative to the lint root, posix separators.
+    path: str
+    #: 1-indexed source line.
+    line: int
+    #: 0-indexed column (ast convention).
+    col: int
+    #: Rule id, e.g. ``DET001``.
+    rule: str
+    #: Human-readable statement of the violation.
+    message: str
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable form (key order is the JSON schema's)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """One parsed source file, as rules see it."""
+
+    #: Posix path relative to the lint root (``serving/service.py``).
+    rel: str
+    tree: ast.Module
+    source: str
+
+    def __post_init__(self) -> None:
+        self._aliases: dict[str, str] | None = None
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Lazily computed import-alias map (see :func:`import_aliases`)."""
+        if self._aliases is None:
+            self._aliases = import_aliases(self.tree)
+        return self._aliases
+
+
+class Rule:
+    """Base class: subclass, set ``id``/``title``, implement ``check``.
+
+    The class docstring is the rule's *rationale* — it is what
+    ``repro lint --list-rules`` prints — so it should state the
+    simulation contract the rule protects, not implementation detail.
+    """
+
+    id: ClassVar[str]
+    title: ClassVar[str]
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+        )
+
+
+#: All registered rules, keyed by id.
+REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY` (ids unique)."""
+    if cls.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id!r}")
+    REGISTRY[cls.id] = cls
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, ordered by id."""
+    return [REGISTRY[rule_id]() for rule_id in sorted(REGISTRY)]
+
+
+def import_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map locally bound names to the dotted origin they import.
+
+    ``import numpy as np`` binds ``np -> numpy``; ``from time import
+    perf_counter as pc`` binds ``pc -> time.perf_counter``; a plain
+    ``import numpy.random`` binds the root package name (``numpy``),
+    matching runtime behaviour.  Relative imports keep their leading
+    dots so they never collide with stdlib/third-party names.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                if name.asname is not None:
+                    aliases[name.asname] = name.name
+                else:
+                    root = name.name.split(".", 1)[0]
+                    aliases[root] = root
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                origin = f"{module}.{name.name}" if module else name.name
+                aliases[name.asname or name.name] = origin
+    return aliases
+
+
+def dotted_name(node: ast.expr, aliases: dict[str, str] | None = None) -> str | None:
+    """Resolve an ``a.b.c`` attribute chain to a dotted string.
+
+    The chain's base name is substituted through ``aliases`` so that
+    ``np.random.rand`` resolves to ``numpy.random.rand`` and a
+    ``from``-imported ``perf_counter`` resolves to
+    ``time.perf_counter``.  Non-name bases (calls, subscripts) return
+    ``None`` — rules treat those as unresolvable rather than guessing.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = node.id
+    if aliases:
+        base = aliases.get(base, base)
+    parts.append(base)
+    return ".".join(reversed(parts))

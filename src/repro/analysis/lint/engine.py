@@ -1,0 +1,158 @@
+"""File discovery, suppression handling, and rule execution.
+
+The engine walks a directory tree of Python sources, parses each file
+once, runs every (selected) rule over the AST, and filters findings
+through inline suppressions::
+
+    risky_call()  # repro: allow[DET001]
+
+A suppression names the rule id(s) it silences (comma-separated) and
+applies to findings *on its own line* — blanket or file-wide waivers
+are deliberately unsupported, so every exception stays attached to the
+code it excuses.  Suppressions naming a rule id the registry doesn't
+know are themselves reported (``SUP001``): a typoed allow comment must
+not silently waive nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+# Importing the rules package registers the rule set.
+import repro.analysis.lint.rules  # noqa: F401  (import-for-registration)
+from repro.analysis.lint.base import REGISTRY, Finding, ModuleContext, Rule, all_rules
+
+__all__ = ["LintResult", "run_lint", "collect_suppressions", "SUPPRESS_RE"]
+
+#: Inline suppression syntax: ``# repro: allow[DET001]`` or
+#: ``# repro: allow[DET001, SIM001]``.
+SUPPRESS_RE = re.compile(r"repro:\s*allow\[([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)\]")
+
+#: Engine-level finding ids (not AST rules, so not in the registry).
+_UNKNOWN_SUPPRESSION = "SUP001"
+_PARSE_ERROR = "PARSE001"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run (findings already sorted and filtered)."""
+
+    #: Absolute root the run walked.
+    root: str
+    #: Ids of the rules that ran, sorted.
+    rules: list[str]
+    #: Files parsed (``__pycache__`` excluded).
+    files_checked: int = 0
+    #: Surviving findings, sorted by (path, line, col, rule).
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# repro: allow[...]``.
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    Comments are found with :mod:`tokenize` rather than a per-line
+    regex so a ``repro: allow[...]`` inside a string literal never
+    counts as a waiver.
+    """
+    allowed: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            allowed.setdefault(token.start[0], set()).update(ids)
+    except tokenize.TokenError:  # pragma: no cover - unparsable file
+        pass
+    return allowed
+
+
+def _select_rules(rule_ids: Sequence[str] | None) -> list[Rule]:
+    if rule_ids is None:
+        return all_rules()
+    unknown = sorted(set(rule_ids) - set(REGISTRY))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(REGISTRY))}"
+        )
+    return [REGISTRY[rule_id]() for rule_id in sorted(set(rule_ids))]
+
+
+def _lint_file(
+    path: Path, rel: str, rules: Sequence[Rule], result: LintResult
+) -> None:
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        result.findings.append(
+            Finding(
+                path=rel,
+                line=error.lineno or 1,
+                col=(error.offset or 1) - 1,
+                rule=_PARSE_ERROR,
+                message=f"file does not parse: {error.msg}",
+            )
+        )
+        return
+    allowed = collect_suppressions(source)
+    module = ModuleContext(rel=rel, tree=tree, source=source)
+    for rule in rules:
+        for finding in rule.check(module):
+            if finding.rule in allowed.get(finding.line, ()):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    for line in sorted(allowed):
+        for rule_id in sorted(allowed[line] - set(REGISTRY)):
+            result.findings.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=0,
+                    rule=_UNKNOWN_SUPPRESSION,
+                    message=f"suppression names unknown rule {rule_id!r}",
+                )
+            )
+
+
+def run_lint(root: Path | str, rule_ids: Sequence[str] | None = None) -> LintResult:
+    """Lint every ``*.py`` under ``root`` with the (selected) rule set.
+
+    ``root`` is treated as the package root: rule scoping (DET001's
+    wall-only allowlist, DET003/SIM001's subtree prefixes) matches
+    paths relative to it, e.g. ``serving/service.py``.
+    """
+    root_path = Path(root).resolve()
+    if not root_path.is_dir():
+        raise ValueError(f"lint root {root_path} is not a directory")
+    rules = _select_rules(rule_ids)
+    result = LintResult(root=str(root_path), rules=[rule.id for rule in rules])
+    files = sorted(
+        path
+        for path in root_path.rglob("*.py")
+        if "__pycache__" not in path.parts
+    )
+    for path in files:
+        rel = path.relative_to(root_path).as_posix()
+        _lint_file(path, rel, rules, result)
+        result.files_checked += 1
+    result.findings.sort()
+    result.suppressed.sort()
+    return result

@@ -1,0 +1,64 @@
+"""Human- and machine-readable output for ``repro lint``.
+
+The JSON form is a stable schema (``repro-lint/1``) so CI can diff
+findings across runs; adding keys is allowed, renaming or removing
+them is a schema bump.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.lint.base import REGISTRY
+from repro.analysis.lint.engine import LintResult
+
+__all__ = ["JSON_SCHEMA", "to_json", "to_text", "describe_rules"]
+
+#: Schema tag of the ``--format json`` payload.
+JSON_SCHEMA = "repro-lint/1"
+
+
+def to_json(result: LintResult) -> dict:
+    """Machine-readable payload (stable key set, deterministic order)."""
+    counts: dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "schema": JSON_SCHEMA,
+        "root": result.root,
+        "rules": list(result.rules),
+        "files_checked": result.files_checked,
+        "findings": [finding.as_dict() for finding in result.findings],
+        "counts": counts,
+        "suppressed_count": len(result.suppressed),
+    }
+
+
+def to_text(result: LintResult) -> str:
+    """``path:line:col: RULE message`` lines plus a one-line summary."""
+    lines = [
+        f"{finding.path}:{finding.line}:{finding.col + 1}: "
+        f"{finding.rule} {finding.message}"
+        for finding in result.findings
+    ]
+    lines.append(
+        f"checked {result.files_checked} file(s): "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def describe_rules() -> str:
+    """The registry, one rule per block: id, title, and rationale."""
+    blocks = []
+    for rule_id in sorted(REGISTRY):
+        cls = REGISTRY[rule_id]
+        rationale = " ".join((cls.__doc__ or "").split())
+        body = textwrap.indent(textwrap.fill(rationale, width=76), "    ")
+        blocks.append(f"{rule_id}  {cls.title}\n{body}")
+    blocks.append(
+        "Suppress a finding on its own line with '# repro: allow[RULE-ID]' "
+        "(comma-separate several ids); unknown ids are reported as SUP001."
+    )
+    return "\n\n".join(blocks)

@@ -1,0 +1,136 @@
+"""API001 — every module-level public symbol belongs to ``__all__``."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, register
+
+__all__ = ["PublicApiRule"]
+
+
+def _statement_lists(body: list[ast.stmt]) -> Iterator[list[ast.stmt]]:
+    """Module body plus conditional/try blocks at module level.
+
+    ``if TYPE_CHECKING:`` imports and version-gated definitions still
+    bind module attributes, so they count toward the public surface.
+    """
+    yield body
+    for stmt in body:
+        if isinstance(stmt, ast.If):
+            yield from _statement_lists(stmt.body)
+            yield from _statement_lists(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _statement_lists(stmt.body)
+            yield from _statement_lists(stmt.orelse)
+            yield from _statement_lists(stmt.finalbody)
+            for handler in stmt.handlers:
+                yield from _statement_lists(handler.body)
+
+
+@register
+class PublicApiRule(Rule):
+    """The curated ``__all__`` is the module's public API — keep it true.
+
+    Star imports, the PEP 562 lazy loaders, and the public-API
+    regression tests all read ``__all__``; a public def/class/constant
+    missing from it is an accidental export whose availability is
+    untested, and an ``__all__`` entry with no matching binding breaks
+    ``from module import *`` and every name-resolution test.  Modules
+    that define public symbols must carry a curated ``__all__``
+    (prefix helpers with ``_`` to keep them out of the surface).
+    """
+
+    id = "API001"
+    title = "public symbol missing from __all__ (or stale __all__ entry)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        exported: list[str] | None = None
+        exported_node: ast.AST | None = None
+        defined: dict[str, int] = {}  # public definitions -> first line
+        bound: set[str] = set()  # every module-level binding, incl. imports
+
+        for body in _statement_lists(module.tree.body):
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    bound.add(stmt.name)
+                    if not stmt.name.startswith("_"):
+                        defined.setdefault(stmt.name, stmt.lineno)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        for name_node in self._target_names(target):
+                            name = name_node.id
+                            if name == "__all__":
+                                exported = self._string_list(stmt.value)
+                                exported_node = stmt
+                                continue
+                            bound.add(name)
+                            if not name.startswith("_"):
+                                defined.setdefault(name, stmt.lineno)
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    if isinstance(stmt.target, ast.Name):
+                        name = stmt.target.id
+                        bound.add(name)
+                        if not name.startswith("_"):
+                            defined.setdefault(name, stmt.lineno)
+                elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    for alias in stmt.names:
+                        if alias.name == "*":
+                            continue
+                        bound.add(alias.asname or alias.name.split(".", 1)[0])
+
+        if exported is None:
+            if defined:
+                yield Finding(
+                    path=module.rel,
+                    line=min(defined.values()),
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"module defines {len(defined)} public symbol(s) but "
+                        "no curated __all__"
+                    ),
+                )
+            return
+        exported_set = set(exported)
+        for name, line in sorted(defined.items(), key=lambda item: item[1]):
+            if name not in exported_set:
+                yield Finding(
+                    path=module.rel,
+                    line=line,
+                    col=0,
+                    rule=self.id,
+                    message=f"public symbol {name!r} is missing from __all__ "
+                    "(export it or prefix it with '_')",
+                )
+        assert exported_node is not None
+        if "__getattr__" in bound:
+            # PEP 562 lazy loader: entries resolve at attribute-access
+            # time; the runtime public-API tests cover name resolution.
+            return
+        for name in exported:
+            if name not in bound:
+                yield self.finding(
+                    module,
+                    exported_node,
+                    f"__all__ exports {name!r} but the module never binds it",
+                )
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> Iterator[ast.Name]:
+        if isinstance(target, ast.Name):
+            yield target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from PublicApiRule._target_names(elt)
+
+    @staticmethod
+    def _string_list(value: ast.expr) -> list[str]:
+        if not isinstance(value, (ast.List, ast.Tuple)):
+            return []
+        return [
+            elt.value
+            for elt in value.elts
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+        ]

@@ -1,0 +1,73 @@
+"""DET001 — no wall-clock reads in simulation-path code."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, dotted_name, register
+
+__all__ = ["WallClockRule", "WALL_CALLS", "WALL_ONLY_MODULES", "WALL_ONLY_PREFIXES"]
+
+#: Fully resolved callables that read the host's clock.
+WALL_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules (relative to the lint root) that legitimately measure wall
+#: time; everything they export is documented as non-deterministic and
+#: kept out of traces and reports.
+WALL_ONLY_MODULES = frozenset({"obs/selfprof.py"})
+
+#: Whole subtrees that are wall-clock territory by design (only
+#: relevant when linting a tree wider than ``src/repro``).
+WALL_ONLY_PREFIXES = ("benchmarks/",)
+
+
+@register
+class WallClockRule(Rule):
+    """Simulation code must never read the host clock.
+
+    Every latency in a run is *simulated* (``time_ns`` floats advanced
+    by the device/interface models); a ``time.time()`` or
+    ``datetime.now()`` on the sim path silently couples results to the
+    machine the run happens on and breaks the one-seed -> byte-identical
+    ``ServiceReport`` contract.  Wall time is allowed only in the
+    allowlisted wall-only modules (the event-loop self-profiler, the
+    benchmark harness), whose figures are documented as
+    non-deterministic and excluded from traces and reports.
+    """
+
+    id = "DET001"
+    title = "wall-clock call outside the wall-only module allowlist"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.rel in WALL_ONLY_MODULES or module.rel.startswith(WALL_ONLY_PREFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.aliases)
+            if resolved in WALL_CALLS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"wall-clock call {resolved}() in simulation-path code; "
+                    "simulated time must come from the event loop "
+                    "(wall-only modules: " + ", ".join(sorted(WALL_ONLY_MODULES)) + ")",
+                )

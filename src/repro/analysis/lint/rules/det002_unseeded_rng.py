@@ -1,0 +1,76 @@
+"""DET002 — no global-state randomness; thread seeded Generators."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, dotted_name, register
+
+__all__ = ["UnseededRngRule", "SEEDED_FACTORIES"]
+
+#: ``numpy.random`` attributes that *construct* seeded state rather
+#: than mutating or reading the hidden global stream.
+SEEDED_FACTORIES = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "RandomState",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+    }
+)
+
+#: ``random``-module attributes that construct an independent instance
+#: (seedable) instead of driving the module-level singleton.
+_STDLIB_FACTORIES = frozenset({"Random"})
+
+
+@register
+class UnseededRngRule(Rule):
+    """Randomness must flow from an explicitly seeded ``Generator``.
+
+    Module-level ``random.*`` and ``np.random.*`` calls draw from
+    hidden global streams: any import-order change, library upgrade, or
+    stray call elsewhere silently shifts every subsequent draw, and two
+    components sharing the stream correlate.  Every stochastic
+    component must instead thread a ``numpy.random.Generator`` derived
+    from an explicit ``(seed, label)`` pair — see
+    ``repro.utils.rng.rng_for`` / ``spawn_rngs``.  Constructing seeded
+    state (``default_rng``, ``SeedSequence``, bit generators) is fine;
+    driving the global singleton is not.
+    """
+
+    id = "DET002"
+    title = "unseeded global-state randomness instead of a threaded Generator"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.aliases)
+            if resolved is None:
+                continue
+            if resolved.startswith("numpy.random."):
+                attr = resolved.split(".")[2]
+                if attr not in SEEDED_FACTORIES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"global-state call {resolved}(); construct a seeded "
+                        "Generator (repro.utils.rng.rng_for) and thread it instead",
+                    )
+            elif resolved.startswith("random."):
+                attr = resolved.split(".")[1]
+                if attr not in _STDLIB_FACTORIES:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"stdlib global-RNG call {resolved}(); use a seeded "
+                        "numpy Generator (repro.utils.rng.rng_for) instead",
+                    )

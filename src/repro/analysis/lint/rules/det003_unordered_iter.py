@@ -1,0 +1,161 @@
+"""DET003 — no iteration over unordered collections on the sim path."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, register
+
+__all__ = ["UnorderedIterationRule", "ORDER_SENSITIVE_PREFIXES"]
+
+#: Subtrees whose iteration order can feed the event loop (and thereby
+#: the one-seed -> byte-identical report contract).
+ORDER_SENSITIVE_PREFIXES = ("core/", "serving/", "storage/")
+
+
+def _is_literal_constant_set(node: ast.expr) -> bool:
+    return isinstance(node, ast.Set) and all(
+        isinstance(elt, ast.Constant) for elt in node.elts
+    )
+
+
+def _unordered_kind(node: ast.expr, bound: list[dict[str, str]]) -> str | None:
+    """Classify an iterable expression as unordered, or return ``None``.
+
+    Matches set displays/comprehensions of non-literal values,
+    ``set(...)`` / ``frozenset(...)`` constructor calls, ``.keys()``
+    calls, and names locally bound to any of the above.  A literal set
+    of constants is tolerated (its contents are fixed at author time
+    and typically feeds membership tests pulled into a loop).
+    """
+    if isinstance(node, ast.SetComp):
+        return "set comprehension"
+    if isinstance(node, ast.Set) and not _is_literal_constant_set(node):
+        return "set display"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...) call"
+        if isinstance(func, ast.Attribute) and func.attr == "keys":
+            return ".keys() view"
+    if isinstance(node, ast.Name):
+        for scope in reversed(bound):
+            if node.id in scope:
+                return scope[node.id]
+    return None
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """Event-loop inputs must not inherit ``set``/``dict.keys`` order.
+
+    In ``core/``, ``serving/``, and ``storage/`` the order work is
+    *submitted* in is the order the simulated clock advances in: a
+    ``for x in some_set`` whose order shifts with hash seeding or
+    insertion history reorders engine submissions, heap pushes, and
+    candidate merges — nondeterminism that end-to-end byte-equivalence
+    tests only catch after the fact.  Wrap the iterable in
+    ``sorted(...)`` (with an explicit key when elements aren't
+    naturally ordered) or keep an explicitly ordered container.
+    """
+
+    id = "DET003"
+    title = "iteration over an unordered set/dict-keys collection"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.rel.startswith(ORDER_SENSITIVE_PREFIXES):
+            return
+        yield from self._walk(module, module.tree.body, [{}])
+
+    def _walk(
+        self,
+        module: ModuleContext,
+        body: list[ast.stmt],
+        bound: list[dict[str, str]],
+    ) -> Iterator[Finding]:
+        """Visit one statement list, tracking set-valued name bindings."""
+        for stmt in body:
+            yield from self._visit_stmt(module, stmt, bound)
+
+    def _visit_stmt(
+        self,
+        module: ModuleContext,
+        stmt: ast.stmt,
+        bound: list[dict[str, str]],
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.append({})
+            yield from self._walk(module, stmt.body, bound)
+            bound.pop()
+            return
+        if isinstance(stmt, ast.ClassDef):
+            yield from self._walk(module, stmt.body, bound)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                yield from self._check_expr(module, value, bound)
+                kind = _unordered_kind(value, bound)
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        if kind is not None:
+                            bound[-1][target.id] = kind
+                        else:
+                            # Rebinding to an ordered value clears the taint.
+                            bound[-1].pop(target.id, None)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            kind = _unordered_kind(stmt.iter, bound)
+            if kind is not None:
+                yield self._iter_finding(module, stmt.iter, kind)
+            else:
+                yield from self._check_expr(module, stmt.iter, bound)
+            yield from self._walk(module, stmt.body, bound)
+            yield from self._walk(module, stmt.orelse, bound)
+            return
+        # Generic statement: check embedded expressions, then recurse
+        # into any nested statement lists (if/while/with/try bodies).
+        for field_value in ast.iter_fields(stmt):
+            _, value = field_value
+            if isinstance(value, ast.expr):
+                yield from self._check_expr(module, value, bound)
+            elif isinstance(value, list):
+                if value and isinstance(value[0], ast.stmt):
+                    yield from self._walk(module, value, bound)
+                else:
+                    for item in value:
+                        if isinstance(item, ast.expr):
+                            yield from self._check_expr(module, item, bound)
+                        elif isinstance(item, ast.excepthandler):
+                            yield from self._walk(module, item.body, bound)
+                        elif isinstance(item, (ast.withitem,)):
+                            yield from self._check_expr(
+                                module, item.context_expr, bound
+                            )
+                        elif isinstance(item, ast.match_case):
+                            yield from self._walk(module, item.body, bound)
+
+    def _check_expr(
+        self,
+        module: ModuleContext,
+        expr: ast.expr,
+        bound: list[dict[str, str]],
+    ) -> Iterator[Finding]:
+        """Flag unordered iterables driving comprehension generators."""
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    kind = _unordered_kind(generator.iter, bound)
+                    if kind is not None:
+                        yield self._iter_finding(module, generator.iter, kind)
+
+    def _iter_finding(self, module: ModuleContext, node: ast.expr, kind: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"iteration over a {kind} feeds unordered elements into "
+            "order-sensitive code; wrap it in sorted(...) or use an "
+            "explicitly ordered container",
+        )

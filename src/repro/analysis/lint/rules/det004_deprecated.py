@@ -1,0 +1,76 @@
+"""DET004 — no internal use of deprecated compatibility shims."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, register
+
+__all__ = ["DeprecatedShimRule", "DEPRECATED_SYMBOLS"]
+
+#: Deprecated symbol -> the replacement to point callers at.
+DEPRECATED_SYMBOLS: dict[str, str] = {
+    "run_mmap_sync": "E2LSHoSIndex.run(queries, mode='mmap_sync', cache=...)",
+}
+
+
+def _is_flat_report_call(node: ast.Call) -> bool:
+    """Detect the removed flat per-shard ``ServiceStats.report`` form.
+
+    The current contract passes one *list of per-replica results per
+    shard* (a nested list); the legacy flat form passed one result per
+    shard.  Statically we flag ``<x>.report([...])`` whose first
+    argument is a list comprehension producing non-list elements — the
+    shape every historical flat call site had.
+    """
+    func = node.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "report"):
+        return False
+    if not node.args:
+        return False
+    arg = node.args[0]
+    if not isinstance(arg, ast.ListComp):
+        return False
+    return not isinstance(arg.elt, (ast.List, ast.ListComp))
+
+
+@register
+class DeprecatedShimRule(Rule):
+    """Internal code must not lean on deprecated compatibility shims.
+
+    Shims exist to give *external* callers a deprecation cycle; internal
+    call sites that keep using them hide the migration debt, keep dead
+    code paths warm, and — for simulation entry points like
+    ``run_mmap_sync`` — bypass the batch-first API whose scalar/vector
+    byte-equivalence is what regression tests actually pin.  The flat
+    per-shard ``ServiceStats.report`` form has been removed outright;
+    pass one list of per-replica ``EngineResult`` per shard.
+    """
+
+    id = "DET004"
+    title = "use of a deprecated shim (run_mmap_sync / flat report form)"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if node.attr in DEPRECATED_SYMBOLS:
+                    yield self._symbol_finding(module, node, node.attr)
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in DEPRECATED_SYMBOLS:
+                    yield self._symbol_finding(module, node, node.id)
+            elif isinstance(node, ast.Call) and _is_flat_report_call(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "flat per-shard ServiceStats.report form (one result per "
+                    "shard) is removed; pass one list of per-replica results "
+                    "per shard",
+                )
+
+    def _symbol_finding(self, module: ModuleContext, node: ast.AST, name: str) -> Finding:
+        return self.finding(
+            module,
+            node,
+            f"deprecated shim {name}; use {DEPRECATED_SYMBOLS[name]}",
+        )

@@ -1,0 +1,77 @@
+"""SIM001 — serving heaps must carry the event-class tie-order tag."""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.base import Finding, ModuleContext, Rule, dotted_name, register
+
+__all__ = ["HeapTieOrderRule", "EVENT_TAG_PREFIX"]
+
+#: Named constants from :mod:`repro.serving.events` tagging which
+#: contract class a heap entry belongs to.
+EVENT_TAG_PREFIX = "EVENT_"
+
+#: heap-mutating callables -> positional index of the pushed item.
+_PUSH_CALLS: dict[str, int] = {
+    "heapq.heappush": 1,
+    "heapq.heapreplace": 1,
+    "heapq.heappushpop": 1,
+}
+
+#: Subtree where the event-loop tie-order contract applies.
+_SERVING_PREFIX = "serving/"
+
+
+def _carries_tag(item: ast.expr) -> bool:
+    if not isinstance(item, ast.Tuple) or len(item.elts) < 2:
+        return False
+    tag = item.elts[1]
+    if isinstance(tag, ast.Name):
+        return tag.id.startswith(EVENT_TAG_PREFIX)
+    if isinstance(tag, ast.Attribute):
+        return tag.attr.startswith(EVENT_TAG_PREFIX)
+    return False
+
+
+@register
+class HeapTieOrderRule(Rule):
+    """Every serving-side heap entry states its event class, by name.
+
+    The QueryService loop breaks same-timestamp ties in a pinned order
+    — completions -> flushes -> hedges -> arrivals — and that order is
+    part of the determinism contract (reordering changes which
+    micro-batch a duplicate joins, hence the byte-identical-report
+    guarantee).  A raw ``heapq.heappush(heap, (t, payload...))`` leaves
+    the tie semantics to whatever payload happens to compare at index
+    1; instead every pushed tuple must carry a named
+    ``repro.serving.events.EVENT_*`` tag as its second element, so the
+    entry's contract class is explicit and greppable at every push
+    site.
+    """
+
+    id = "SIM001"
+    title = "heap push without an EVENT_* tie-order tag at tuple index 1"
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.rel.startswith(_SERVING_PREFIX):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = dotted_name(node.func, module.aliases)
+            if resolved not in _PUSH_CALLS:
+                continue
+            item_index = _PUSH_CALLS[resolved]
+            if len(node.args) <= item_index:
+                continue  # item passed by keyword or malformed; runtime's problem
+            item = node.args[item_index]
+            if not _carries_tag(item):
+                yield self.finding(
+                    module,
+                    item,
+                    f"{resolved} item must be a tuple carrying a "
+                    "repro.serving.events.EVENT_* tie-order tag as its "
+                    "second element",
+                )

@@ -22,6 +22,8 @@ from repro.utils.units import format_iops, format_time
 
 __all__ = [
     "average_n_io",
+    "INMEMORY_COMPUTE_FRACTION",
+    "DEFAULT_UTILIZATION_CAP",
     "RequirementPoint",
     "RequirementCurve",
     "requirement_curve",

@@ -30,7 +30,7 @@ from repro.core.e2lsh import QueryAnswer
 from repro.core.query_stats import OpCounts, QueryStats
 from repro.utils.rng import rng_for
 
-__all__ = ["QALSHIndex", "qalsh_parameters"]
+__all__ = ["QALSHIndex", "qalsh_parameters", "DEFAULT_DELTA"]
 
 #: Failure probability delta giving the paper's success target 1/2 - 1/e.
 DEFAULT_DELTA = 1.0 - (0.5 - 1.0 / math.e)

@@ -29,7 +29,7 @@ from repro.core.e2lsh import QueryAnswer
 from repro.core.query_stats import OpCounts, QueryStats
 from repro.utils.rng import rng_for
 
-__all__ = ["SRSIndex"]
+__all__ = ["SRSIndex", "DEFAULT_EARLY_STOP_CONFIDENCE"]
 
 #: Early-termination confidence tied to the paper's success probability
 #: target of 1/2 - 1/e (stop once the chance of a missed c-NN among the

@@ -26,7 +26,7 @@ from repro.baselines.srs import SRSIndex
 from repro.storage.blockstore import BlockStore
 from repro.storage.engine import Compute, ReadBatch, Task
 
-__all__ = ["StorageSRS"]
+__all__ = ["StorageSRS", "build_storage_srs"]
 
 _NODE_RECORD = 512
 #: node record: u8 is_leaf, u8 n_entries, 6 pad, then entries:

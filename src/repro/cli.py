@@ -24,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.cost_model import required_iops, required_request_rate
+from repro.analysis.lint import describe_rules, run_lint, to_json, to_text
 from repro.analysis.machine_model import DEFAULT_MACHINE
 from repro.analysis.requirements import average_n_io, plan_capacity_for_scenario
 from repro.core.e2lsh import E2LSHIndex
@@ -255,6 +256,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write one <scenario>.json SLO report per scenario into DIR",
+    )
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST determinism & simulation-contract checker "
+        "(wall clock, global RNG, unordered iteration, deprecated shims, "
+        "__all__ hygiene, heap tie-order tags)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="package tree to check (default: the installed repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="run only this rule id; repeatable (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule id, title, and rationale, then exit",
     )
 
     report = sub.add_parser(
@@ -563,6 +590,23 @@ def _cmd_scenarios(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out) -> int:
+    if args.list_rules:
+        out.write(describe_rules() + "\n")
+        return 0
+    root = Path(args.root) if args.root is not None else Path(__file__).resolve().parent
+    try:
+        result = run_lint(root, rule_ids=args.select or None)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from error
+    if args.format == "json":
+        json.dump(to_json(result), out, indent=1, sort_keys=True)
+        out.write("\n")
+    else:
+        out.write(to_text(result) + "\n")
+    return 0 if result.ok else 1
+
+
 def _cmd_report(args: argparse.Namespace, out) -> int:
     try:
         spans = load_trace(args.trace)
@@ -589,6 +633,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return _cmd_loadtest(args, out)
     if args.command == "scenarios":
         return _cmd_scenarios(args, out)
+    if args.command == "lint":
+        return _cmd_lint(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -24,7 +24,7 @@ from repro.core.e2lsh import E2LSHIndex, QueryAnswer
 from repro.stats import OpCounts, QueryStats
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # E2LSHoSIndex/BatchResult are loaded lazily (PEP 562): e2lshos
     # pulls in the layout/storage/analysis stacks, which themselves
     # import leaf modules of this package — eager import here would be

@@ -112,13 +112,13 @@ class E2LSHIndex:
                 f"(m={params.m}, L={params.L}); use bank.with_m()"
             )
         self.bank = bank
-        # tables[rung][l] — built once, queried many times.
+        # tables[rung][li] — built once, queried many times.
         self.tables: list[list[GroupedTable]] = []
         if projections is None:
             projections = self.bank.project(data)
         for radius in self.ladder:
             hash_values = self.bank.mix32(self.bank.codes_for_radius(projections, radius))
-            self.tables.append([GroupedTable(hash_values[:, l]) for l in range(params.L)])
+            self.tables.append([GroupedTable(hash_values[:, li]) for li in range(params.L)])
         del projections
 
     # -- introspection ----------------------------------------------------
@@ -169,10 +169,10 @@ class E2LSHIndex:
 
             collected: list[np.ndarray] = []
             total = 0
-            for l in range(params.L):
+            for li in range(params.L):
                 stats.buckets_probed += 1
                 stats.ops.bucket_lookups += 1
-                ids = self.tables[rung_index][l].lookup(int(hash_values[l])).astype(np.int64)
+                ids = self.tables[rung_index][li].lookup(int(hash_values[li])).astype(np.int64)
                 if ids.size == 0:
                     continue
                 stats.nonempty_buckets += 1

@@ -23,16 +23,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.analysis.machine_model import DEFAULT_MACHINE, MachineModel
 from repro.core.e2lsh import QueryAnswer
+from repro.core.lsh import CompoundHashBank
 from repro.core.params import E2LSHParams
 from repro.core.query_stats import OpCounts, QueryStats
 from repro.core.radii import RadiusLadder
 from repro.layout.bucket import NULL_ADDRESS, decode_block
-from repro.layout.builder import BuiltIndex, IndexBuilder
+from repro.layout.builder import BuiltIndex, IndexBuilder, TableHandle
 from repro.layout.hash_table import SLOT_SIZE
 from repro.storage.blockstore import BlockStore, MemoryBlockStore
 from repro.storage.engine import AsyncIOEngine, Compute, EngineResult, Read, ReadBatch, Task
@@ -78,13 +80,13 @@ class _RungLookup:
 
     __slots__ = ("keys", "base_addresses", "tables", "_shifts")
 
-    def __init__(self, handles) -> None:
+    def __init__(self, handles: Sequence[TableHandle]) -> None:
         n_tables = len(handles)
         self._shifts = np.arange(n_tables, dtype=np.uint64) << np.uint64(32)
         self.keys = np.concatenate(
             [
-                self._shifts[l] | handles[l].present_values.astype(np.uint64)
-                for l in range(n_tables)
+                self._shifts[li] | handles[li].present_values.astype(np.uint64)
+                for li in range(n_tables)
             ]
         )
         self.base_addresses = np.array(
@@ -194,7 +196,7 @@ class E2LSHoSIndex:
         table_bits: int | None = None,
         seed: int = 0,
         machine: MachineModel = DEFAULT_MACHINE,
-        bank=None,
+        bank: CompoundHashBank | None = None,
     ) -> "E2LSHoSIndex":
         """Build the on-storage index for ``data`` and wrap it."""
         data = np.ascontiguousarray(data, dtype=np.float32)
@@ -386,14 +388,14 @@ class E2LSHoSIndex:
                 row_addresses = addresses[i]
                 row_fps = fingerprints[i]
                 # Step 1: hash-table slot reads, all in one async batch.
-                slot_reads = [(int(row_addresses[l]), SLOT_SIZE) for l in probe_cols]
+                slot_reads = [(int(row_addresses[li]), SLOT_SIZE) for li in probe_cols]
                 stats.ios_issued += len(slot_reads)
                 raw_slots = yield ReadBatch(slot_reads)
                 heads = np.frombuffer(b"".join(raw_slots), dtype="<u8")
                 # Step 2: first bucket block of every non-empty bucket.
                 pending = [
-                    (int(address), int(row_fps[l]))
-                    for address, l in zip(heads, probe_cols)
+                    (int(address), int(row_fps[li]))
+                    for address, li in zip(heads, probe_cols)
                     if address != NULL_ADDRESS
                 ]
                 stats.nonempty_buckets += len(pending)

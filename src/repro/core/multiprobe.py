@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.e2lsh import E2LSHIndex, QueryAnswer
+from repro.core.lsh import CompoundHashBank
 from repro.stats import QueryStats
 
 __all__ = ["MultiProbeE2LSH", "perturbation_sequence"]
@@ -120,21 +121,21 @@ class MultiProbeE2LSH:
 
             collected: list[np.ndarray] = []
             total = 0
-            for l in range(params.L):
+            for li in range(params.L):
                 # Home bucket plus query-directed perturbations.
-                lower = fractions[l] ** 2
-                upper = (1.0 - fractions[l]) ** 2
+                lower = fractions[li] ** 2
+                upper = (1.0 - fractions[li]) ** 2
                 boundary = np.stack([lower, upper], axis=1)
                 probe_sets = [()] + perturbation_sequence(boundary, self.n_probes)
                 for probe in probe_sets:
-                    perturbed = codes[l].copy()
+                    perturbed = codes[li].copy()
                     for flat_index in probe:
                         coordinate, side = divmod(flat_index, 2)
                         perturbed[coordinate] += -1 if side == 0 else 1
-                    hash_value = int(self._mix_single(bank, perturbed, l))
+                    hash_value = int(self._mix_single(bank, perturbed, li))
                     stats.buckets_probed += 1
                     stats.ops.bucket_lookups += 1
-                    ids = index.tables[rung_index][l].lookup(hash_value).astype(np.int64)
+                    ids = index.tables[rung_index][li].lookup(hash_value).astype(np.int64)
                     if ids.size == 0:
                         continue
                     stats.nonempty_buckets += 1
@@ -170,7 +171,7 @@ class MultiProbeE2LSH:
         return QueryAnswer(ids=pool_ids[order], distances=pool_dists[order], stats=stats)
 
     @staticmethod
-    def _mix_single(bank, codes_row: np.ndarray, l: int) -> int:
+    def _mix_single(bank: CompoundHashBank, codes_row: np.ndarray, li: int) -> int:
         """32-bit hash of one table's (possibly perturbed) code vector.
 
         Must reproduce :meth:`CompoundHashBank.mix32` exactly — modular
@@ -179,7 +180,7 @@ class MultiProbeE2LSH:
         """
         unsigned = codes_row.astype(np.uint64)
         mixed = np.array(
-            [np.einsum("m,m->", unsigned, bank.mixers[l], dtype=np.uint64)],
+            [np.einsum("m,m->", unsigned, bank.mixers[li], dtype=np.uint64)],
             dtype=np.uint64,
         )
         mixed ^= mixed >> np.uint64(31)

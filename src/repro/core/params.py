@@ -24,7 +24,7 @@ from dataclasses import dataclass, replace
 
 from repro.core.collision import collision_probability
 
-__all__ = ["E2LSHParams"]
+__all__ = ["E2LSHParams", "DEFAULT_C", "DEFAULT_W", "DEFAULT_RHO"]
 
 #: The paper's approximation ratio for E2LSH (Sec. 3.3).
 DEFAULT_C = 2.0

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -60,7 +61,7 @@ class RadiusLadder:
         """Largest radius in the ladder."""
         return self.radii[-1]
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[float]:
         return iter(self.radii)
 
     def __len__(self) -> int:

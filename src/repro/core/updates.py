@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.e2lshos import E2LSHoSIndex
+from repro.layout.builder import TableHandle
 from repro.layout.bucket import (
     BLOCK_HEADER_SIZE,
     NULL_ADDRESS,
@@ -99,18 +100,20 @@ class IndexUpdater:
         projections = built.bank.project(vectors)
         for rung_index, radius in enumerate(built.ladder):
             hash_values = built.bank.mix32(built.bank.codes_for_radius(projections, radius))
-            for l in range(built.params.L):
-                handle = built.tables[rung_index][l]
-                slots, fingerprints = built.codec.split_hash(hash_values[:, l])
+            for li in range(built.params.L):
+                handle = built.tables[rung_index][li]
+                slots, fingerprints = built.codec.split_hash(hash_values[:, li])
                 for obj, slot, fp in zip(new_ids.tolist(), slots.tolist(), fingerprints.tolist()):
                     self._insert_entry(handle, int(slot), int(obj), int(fp))
                 # Keep the exact occupancy filter exact.
-                merged = np.union1d(handle.present_values, hash_values[:, l].astype(np.uint32))
+                merged = np.union1d(handle.present_values, hash_values[:, li].astype(np.uint32))
                 object.__setattr__(handle, "present_values", merged)
         self.stats.inserted += int(vectors.shape[0])
         return new_ids
 
-    def _insert_entry(self, handle, slot: int, object_id: int, fingerprint: int) -> None:
+    def _insert_entry(
+        self, handle: TableHandle, slot: int, object_id: int, fingerprint: int
+    ) -> None:
         built = self.index.built
         store = built.store
         codec = built.codec
@@ -163,14 +166,16 @@ class IndexUpdater:
         projections = built.bank.project(vector)
         for rung_index, radius in enumerate(built.ladder):
             hash_values = built.bank.mix32(built.bank.codes_for_radius(projections, radius))
-            for l in range(built.params.L):
-                handle = built.tables[rung_index][l]
-                slots, fingerprints = built.codec.split_hash(hash_values[:, l])
+            for li in range(built.params.L):
+                handle = built.tables[rung_index][li]
+                slots, fingerprints = built.codec.split_hash(hash_values[:, li])
                 self._delete_entry(handle, int(slots[0]), object_id, int(fingerprints[0]))
         self._deleted.add(object_id)
         self.stats.deleted += 1
 
-    def _delete_entry(self, handle, slot: int, object_id: int, fingerprint: int) -> None:
+    def _delete_entry(
+        self, handle: TableHandle, slot: int, object_id: int, fingerprint: int
+    ) -> None:
         built = self.index.built
         store = built.store
         codec = built.codec

@@ -17,7 +17,7 @@ from typing import Any
 
 from repro.core.query_stats import QueryStats
 
-__all__ = ["MethodRun", "TunedMethod", "tune_to_ratio"]
+__all__ = ["MethodRun", "TunedMethod", "tune_to_ratio", "DEFAULT_TARGET_RATIO"]
 
 #: The paper's default accuracy target.
 DEFAULT_TARGET_RATIO = 1.05

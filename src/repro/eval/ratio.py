@@ -8,7 +8,7 @@ import numpy as np
 
 from repro.eval.ground_truth import GroundTruth
 
-__all__ = ["overall_ratio", "recall_at_k"]
+__all__ = ["overall_ratio", "recall_at_k", "MISSING_PENALTY_RATIO"]
 
 #: Ratio charged for each neighbor a method failed to return at all;
 #: large enough that incomplete answers never pass an accuracy target.

@@ -54,6 +54,8 @@ __all__ = [
     "time_at_ratio",
     "mean_stats",
     "MACHINE",
+    "E2LSHSweep",
+    "AvgStats",
 ]
 
 MACHINE: MachineModel = DEFAULT_MACHINE

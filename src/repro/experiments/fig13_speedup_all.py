@@ -15,7 +15,7 @@ from repro.experiments.common import run_e2lshos, tuned_e2lsh, tuned_srs
 from repro.experiments.config import DEFAULT_SCALE, ExperimentScale
 from repro.experiments.tables import render_table
 
-__all__ = ["Fig13Row", "run", "format_table"]
+__all__ = ["Fig13Row", "run", "format_table", "MODES"]
 
 #: (label, device, count, interface) for the three E2LSHoS executions.
 MODES: tuple[tuple[str, str, int, str], ...] = (

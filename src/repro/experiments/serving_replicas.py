@@ -55,6 +55,15 @@ __all__ = [
     "run",
     "format_table",
     "POLICIES",
+    "K",
+    "N_SHARDS",
+    "REPLICAS",
+    "SCHEME",
+    "FAULT_MULTIPLIER",
+    "PROBE_CONCURRENCY",
+    "PROBE_REQUESTS",
+    "REQUESTS",
+    "LOAD_FRACTION",
 ]
 
 K = 10

@@ -38,7 +38,17 @@ from repro.serving import (
 )
 from repro.utils.units import format_time
 
-__all__ = ["ServingRow", "deployment_spec", "run", "run_specs", "format_table", "CONFIGS"]
+__all__ = [
+    "ServingRow",
+    "deployment_spec",
+    "run",
+    "run_specs",
+    "format_table",
+    "CONFIGS",
+    "K",
+    "CONCURRENCY",
+    "REQUESTS",
+]
 
 K = 10
 CONCURRENCY = 32

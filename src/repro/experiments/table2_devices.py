@@ -17,7 +17,7 @@ from repro.storage.profiles import DEVICE_PROFILES
 from repro.experiments.tables import render_table
 from repro.utils.units import NS_PER_S
 
-__all__ = ["Table2Row", "measure_device_iops", "run", "format_table"]
+__all__ = ["Table2Row", "measure_device_iops", "run", "format_table", "PAPER_KIOPS"]
 
 #: Paper Table 2 reference (kIOPS at queue depths 1 and 128).
 PAPER_KIOPS = {

@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from repro.storage.profiles import INTERFACE_PROFILES
 from repro.experiments.tables import render_table
 
-__all__ = ["Table3Row", "run", "format_table"]
+__all__ = ["Table3Row", "run", "format_table", "PAPER_INTERFACES"]
 
 #: Paper Table 3 reference: (CPU ns per I/O, max MIOPS per core).
 PAPER_INTERFACES = {

@@ -65,11 +65,11 @@ def save_index(index: E2LSHoSIndex, path: str | os.PathLike[str]) -> None:
     }
     base_addresses = []
     for rung_index, rung in enumerate(built.tables):
-        for l, handle in enumerate(rung):
+        for li, handle in enumerate(rung):
             base_addresses.append(
                 (handle.table.base_address, handle.n_buckets, handle.n_blocks, handle.bucket_bytes)
             )
-            arrays[f"present_{rung_index}_{l}"] = handle.present_values
+            arrays[f"present_{rung_index}_{li}"] = handle.present_values
     arrays["table_records"] = np.asarray(base_addresses, dtype=np.int64)
     np.savez_compressed(os.fspath(path), **arrays)
 
@@ -115,7 +115,7 @@ def load_index(
         row = 0
         for rung_index in range(rungs):
             rung_tables = []
-            for l in range(per_rung):
+            for li in range(per_rung):
                 base, n_buckets, n_blocks, bucket_bytes = (int(v) for v in records[row])
                 table = OnStorageHashTable.__new__(OnStorageHashTable)
                 table.store = store
@@ -125,7 +125,7 @@ def load_index(
                 rung_tables.append(
                     TableHandle(
                         table=table,
-                        present_values=payload[f"present_{rung_index}_{l}"],
+                        present_values=payload[f"present_{rung_index}_{li}"],
                         n_buckets=n_buckets,
                         n_blocks=n_blocks,
                         bucket_bytes=bucket_bytes,

@@ -34,7 +34,7 @@ from repro.layout.hash_table import OnStorageHashTable
 from repro.layout.object_info import OBJECT_INFO_SIZE, ObjectInfoCodec, default_table_bits
 from repro.storage.blockstore import BlockStore
 
-__all__ = ["IndexBuilder", "BuiltIndex", "TableHandle"]
+__all__ = ["IndexBuilder", "BuiltIndex", "TableHandle", "BuildStats"]
 
 
 @dataclass(frozen=True)
@@ -92,7 +92,7 @@ class BuiltIndex:
     params: E2LSHParams
     ladder: RadiusLadder
     block_size: int
-    #: tables[rung][l]
+    #: tables[rung][li]
     tables: list[list[TableHandle]] = field(default_factory=list)
     stats: BuildStats = field(default_factory=BuildStats)
 
@@ -161,7 +161,7 @@ class IndexBuilder:
         for radius in self.ladder:
             hash_values = bank.mix32(bank.codes_for_radius(projections, radius))
             rung_tables = [
-                self._build_table(hash_values[:, l], object_ids) for l in range(self.params.L)
+                self._build_table(hash_values[:, li], object_ids) for li in range(self.params.L)
             ]
             index.tables.append(rung_tables)
         index.stats.n_tables = len(index.tables) * self.params.L
@@ -174,7 +174,7 @@ class IndexBuilder:
         return index
 
     def _build_table(self, hash_values: np.ndarray, object_ids: np.ndarray) -> TableHandle:
-        """Write buckets + hash table for one (rung, l) and return its handle."""
+        """Write buckets + hash table for one (rung, li) and return its handle."""
         codec = self.codec
         slots, fingerprints = codec.split_hash(hash_values)
         packed = (fingerprints << np.uint64(codec.id_bits)) | object_ids

@@ -18,7 +18,7 @@ from typing import Any
 from repro.serving.stats import percentile
 from repro.utils.units import format_time
 
-__all__ = ["load_trace", "tail_attribution", "waterfall", "render_report"]
+__all__ = ["load_trace", "tail_attribution", "waterfall", "render_report", "COMPONENTS"]
 
 #: Attribution components, in waterfall order.
 COMPONENTS = ("batch_ns", "queue_ns", "hash_ns", "io_ns", "hedge_ns", "other_ns")

@@ -62,6 +62,7 @@ __all__ = [
     "SubQuerySpan",
     "QuerySpan",
     "Attribution",
+    "attribute",
     "TRACE_SCHEMA",
 ]
 

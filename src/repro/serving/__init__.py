@@ -15,6 +15,9 @@ index CPU/IOPS-bound; this package puts a *service* in front of it:
   optional Zipf-skewed query reuse) and closed-loop workloads.
 - :mod:`repro.serving.stats` — throughput, latency percentiles, queue
   depth, per-replica IOPS and activity, and hedge win/loss accounting.
+- :mod:`repro.serving.events` — the named event-class tie-order tags
+  (``EVENT_COMPLETION`` ... ``EVENT_ARRIVAL``) every serving heap
+  entry carries; ``repro lint`` rule SIM001 enforces the shape.
 - :mod:`repro.serving.service` — the discrete-event loop tying
   arrivals, dispatch, hedging, and replica engines together in
   simulated time (tie order: completions -> flushes -> hedges ->
@@ -57,6 +60,13 @@ from repro.serving.replication import (
     StallingDevice,
     TimelineDevice,
 )
+from repro.serving.events import (
+    EVENT_ARRIVAL,
+    EVENT_COMPLETION,
+    EVENT_FLUSH,
+    EVENT_HEDGE,
+    TIE_ORDER,
+)
 from repro.serving.scenario import (
     ScenarioIndex,
     ScenarioResult,
@@ -78,6 +88,10 @@ __all__ = [
     "DispatchConfig",
     "Dispatcher",
     "DriftingSelector",
+    "EVENT_ARRIVAL",
+    "EVENT_COMPLETION",
+    "EVENT_FLUSH",
+    "EVENT_HEDGE",
     "FaultSpec",
     "FaultTimeline",
     "OpenLoopWorkload",
@@ -97,6 +111,7 @@ __all__ = [
     "ShardPlan",
     "ShardedIndex",
     "StallingDevice",
+    "TIE_ORDER",
     "TimelineDevice",
     "WorkloadSpec",
     "build_scenario",

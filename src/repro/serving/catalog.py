@@ -39,7 +39,20 @@ from repro.serving.config import DataConfig, FaultTimeline, ServingConfig, Workl
 from repro.serving.scenario import ScenarioSpec
 from repro.utils.units import NS_PER_S, NS_PER_US
 
-__all__ = ["CATALOG_NAMES", "CatalogScale", "build_scenario", "catalog"]
+__all__ = [
+    "CATALOG_NAMES",
+    "CatalogScale",
+    "QUICK_SCALE",
+    "FULL_SCALE",
+    "build_scenario",
+    "catalog",
+    "steady_state",
+    "flash_crowd",
+    "diurnal",
+    "hot_set_drift",
+    "replica_stall_storm",
+    "correlated_fault",
+]
 
 
 @dataclass(frozen=True)

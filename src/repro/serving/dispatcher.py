@@ -38,6 +38,7 @@ from typing import Any
 import numpy as np
 
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.serving.events import EVENT_FLUSH, EVENT_HEDGE
 from repro.serving.replication import ReplicaRouter, RoutingConfig
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import ServiceStats
@@ -132,13 +133,17 @@ class Dispatcher:
         self._pending_count = 0
         #: Lane time-trigger deadlines, lazily revalidated against the
         #: lanes on peek (a cancelled front entry re-keys its lane).
-        self._flush_heap: list[tuple[float, int, int]] = []
+        #: Entries are ``(deadline_ns, EVENT_FLUSH, shard, replica)``
+        #: per the serving.events tie-order tagging contract (SIM001).
+        self._flush_heap: list[tuple[float, int, int, int]] = []
         #: (query_id, shard) -> admission time, for hedge-anchor latencies.
         self._admit_ns: dict[tuple[int, int], float] = {}
         #: (query_id, shard) -> armed hedge timer.
         self._hedges: dict[tuple[int, int], _HedgeState] = {}
-        #: Hedge timers ordered by deadline (lazily pruned).
-        self._hedge_heap: list[tuple[float, int, tuple[int, int]]] = []
+        #: Hedge timers ordered by deadline (lazily pruned).  Entries
+        #: are ``(deadline_ns, EVENT_HEDGE, seq, key)`` — see
+        #: serving.events (SIM001).
+        self._hedge_heap: list[tuple[float, int, int, tuple[int, int]]] = []
         self._hedge_seq = 0
         #: Sub-queries whose answer arrived but whose hedge copy is still
         #: in flight; the copy's completion is discarded on arrival.
@@ -210,7 +215,8 @@ class Dispatcher:
         self._pending_count += 1
         if len(lane.pending) == 1:
             heapq.heappush(
-                self._flush_heap, (now_ns + self.config.max_delay_ns, shard_id, replica)
+                self._flush_heap,
+                (now_ns + self.config.max_delay_ns, EVENT_FLUSH, shard_id, replica),
             )
         self.stats.queue_depth_samples.append(len(lane.pending))
         self.tracer.attempt_enqueued(query_id, shard_id, replica, hedge, now_ns)
@@ -227,14 +233,14 @@ class Dispatcher:
         """Earliest time trigger across lanes (``inf`` when all empty)."""
         heap = self._flush_heap
         while heap:
-            deadline, shard_id, replica = heap[0]
+            deadline, _, shard_id, replica = heap[0]
             lane = self._lanes[shard_id][replica]
             if not lane.pending:
                 heapq.heappop(heap)
                 continue
             actual = lane.deadline_ns + self.config.max_delay_ns
             if actual != deadline:
-                heapq.heapreplace(heap, (actual, shard_id, replica))
+                heapq.heapreplace(heap, (actual, EVENT_FLUSH, shard_id, replica))
                 continue
             return deadline
         return math.inf
@@ -243,14 +249,14 @@ class Dispatcher:
         """Fire every lane whose time trigger has passed."""
         heap = self._flush_heap
         while heap:
-            deadline, shard_id, replica = heap[0]
+            deadline, _, shard_id, replica = heap[0]
             lane = self._lanes[shard_id][replica]
             if not lane.pending:
                 heapq.heappop(heap)
                 continue
             actual = lane.deadline_ns + self.config.max_delay_ns
             if actual != deadline:
-                heapq.heapreplace(heap, (actual, shard_id, replica))
+                heapq.heapreplace(heap, (actual, EVENT_FLUSH, shard_id, replica))
                 continue
             if deadline > now_ns:
                 return
@@ -317,14 +323,14 @@ class Dispatcher:
         self._hedges[key] = _HedgeState(
             deadline_ns=deadline_ns, primary=primary, query=query, k=k
         )
-        heapq.heappush(self._hedge_heap, (deadline_ns, self._hedge_seq, key))
+        heapq.heappush(self._hedge_heap, (deadline_ns, EVENT_HEDGE, self._hedge_seq, key))
         self._hedge_seq += 1
         self.stats.hedges_armed += 1
         self.tracer.hedge_armed(query_id, shard_id, deadline_ns)
 
     def _prune_hedges(self) -> None:
         while self._hedge_heap:
-            _, _, key = self._hedge_heap[0]
+            key = self._hedge_heap[0][3]
             state = self._hedges.get(key)
             if state is None or state.cancelled or state.secondary is not None:
                 heapq.heappop(self._hedge_heap)
@@ -341,7 +347,7 @@ class Dispatcher:
         """Re-issue every sub-query whose hedge deadline has passed."""
         self._prune_hedges()
         while self._hedge_heap and self._hedge_heap[0][0] <= now_ns:
-            _, _, key = heapq.heappop(self._hedge_heap)
+            key = heapq.heappop(self._hedge_heap)[3]
             state = self._hedges.get(key)
             if state is None or state.cancelled or state.secondary is not None:
                 continue

@@ -1,0 +1,39 @@
+"""Event-class tie-order tags for the serving event loop's heaps.
+
+The :class:`~repro.serving.service.QueryService` loop is a four-source
+discrete-event simulation, and **tie order at equal timestamps is part
+of the determinism contract**: completions run before flushes, flushes
+before hedges, hedges before arrivals (see the ``service.py`` module
+docstring; regression tests pin one seed to a byte-identical
+``ServiceReport``).  Every heap in ``repro.serving`` therefore keys its
+entries as ``(time_ns, EVENT_<CLASS>, ...)``: the tag names which
+contract class the entry belongs to, keeps same-time entries ordered by
+an explicit field instead of whatever payload happens to sit at index
+1, and makes every push site greppable for its class.  The SIM001 rule
+of ``repro lint`` enforces the shape statically.
+
+The numeric values mirror the loop's tie order, so the tags would sort
+correctly even if entries of different classes ever shared one heap.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EVENT_COMPLETION",
+    "EVENT_FLUSH",
+    "EVENT_HEDGE",
+    "EVENT_ARRIVAL",
+    "TIE_ORDER",
+]
+
+#: A replica engine finishing a sub-query (runs first at equal times).
+EVENT_COMPLETION = 0
+#: A dispatcher lane's micro-batch time trigger.
+EVENT_FLUSH = 1
+#: An armed hedge timer firing.
+EVENT_HEDGE = 2
+#: A client query arriving (runs last at equal times).
+EVENT_ARRIVAL = 3
+
+#: The pinned processing order at equal timestamps.
+TIE_ORDER = (EVENT_COMPLETION, EVENT_FLUSH, EVENT_HEDGE, EVENT_ARRIVAL)

@@ -24,6 +24,7 @@ Everything is deterministic given the workload seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -31,6 +32,7 @@ from repro.utils.units import NS_PER_S
 
 __all__ = [
     "Arrival",
+    "ARRIVAL_PROCESSES",
     "QuerySelector",
     "DriftingSelector",
     "OpenLoopWorkload",
@@ -167,7 +169,7 @@ def open_loop_arrivals(workload: OpenLoopWorkload, pool_size: int) -> list[Arriv
 
 
 def thinned_arrival_times(
-    rate_fn,
+    rate_fn: Callable[[float], float],
     rate_max_qps: float,
     n: int,
     seed: int = 0,

@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sharding imports us)
 
 __all__ = [
     "ROUTING_POLICIES",
+    "HEDGE_OBSERVATION_CAP",
     "FaultSpec",
     "RoutingConfig",
     "ReplicaGroup",

@@ -55,6 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "SCENARIO_SCHEMA",
+    "REPORT_SCHEMA",
     "ScenarioSpec",
     "ScenarioIndex",
     "ScenarioResult",

@@ -43,6 +43,7 @@ from repro.obs.metrics import MetricsRegistry, Timeline
 from repro.obs.selfprof import LoopProfile
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.events import EVENT_ARRIVAL
 from repro.serving.loadgen import (
     Arrival,
     ClosedLoopWorkload,
@@ -202,7 +203,11 @@ class QueryService:
             for replica, session in enumerate(row)
         ]
 
-        arrival_heap = [(a.time_ns, a.query_id, a.pool_index) for a in arrivals]
+        # Entries are (time_ns, EVENT_ARRIVAL, query_id, pool_index) per
+        # the serving.events tie-order tagging contract (SIM001).
+        arrival_heap = [
+            (a.time_ns, EVENT_ARRIVAL, a.query_id, a.pool_index) for a in arrivals
+        ]
         heapq.heapify(arrival_heap)
         #: query_id -> (arrival_ns, pool_index, parts, latest finish so far)
         in_flight: dict[int, tuple[float, int, list[QueryAnswer], float]] = {}
@@ -226,7 +231,8 @@ class QueryService:
         def issue(arrival: Arrival | None) -> None:
             if arrival is not None:
                 heapq.heappush(
-                    arrival_heap, (arrival.time_ns, arrival.query_id, arrival.pool_index)
+                    arrival_heap,
+                    (arrival.time_ns, EVENT_ARRIVAL, arrival.query_id, arrival.pool_index),
                 )
 
         timeline = self.timeline
@@ -308,7 +314,7 @@ class QueryService:
                 continue
 
             profile.arrivals += 1
-            _, query_id, pool_index = heapq.heappop(arrival_heap)
+            _, _, query_id, pool_index = heapq.heappop(arrival_heap)
             if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
                 in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
                 tracer.query_admitted(query_id, t_arrival)

@@ -22,7 +22,7 @@ from repro.storage.interface import StorageInterface
 from repro.storage.raid import StripedVolume
 from repro.utils.validation import require_positive
 
-__all__ = ["PageCache", "PageCacheStats"]
+__all__ = ["PageCache", "PageCacheStats", "PAGE_SIZE", "HIT_COST_NS"]
 
 PAGE_SIZE = 4096
 #: Approximate cost of serving a resident page (DRAM copy + lookup).

@@ -6,6 +6,7 @@ from typing import Any
 
 __all__ = [
     "require",
+    "as_int",
     "require_positive",
     "require_in_range",
     "require_power_of_two",

@@ -1,0 +1,21 @@
+"""API001 fixtures: incomplete and stale ``__all__`` entries."""
+
+__all__ = ["exported", "EXPORTED_CONSTANT", "ghost"]  # expect[API001]
+
+EXPORTED_CONSTANT = 7
+
+
+def exported() -> int:
+    return EXPORTED_CONSTANT
+
+
+def missing() -> int:  # expect[API001]
+    return 0
+
+
+def suppressed() -> int:  # repro: allow[API001]
+    return 1
+
+
+def _private_helper() -> int:
+    return 2

@@ -1,0 +1,5 @@
+"""API001 fixture: a module with public symbols but no ``__all__``."""
+
+
+def orphan_public_symbol() -> int:  # expect[API001]
+    return 0

@@ -1,0 +1,65 @@
+"""DET003 fixtures: unordered iteration inside the core/ scope."""
+
+__all__ = [
+    "bad_keys",
+    "bad_set_call",
+    "bad_set_comp",
+    "bad_local_binding",
+    "suppressed",
+    "ok_sorted",
+    "ok_literal_set",
+    "ok_items",
+    "ok_rebound",
+]
+
+
+def bad_keys(table: dict) -> list:
+    out = []
+    for key in table.keys():  # expect[DET003]
+        out.append(key)
+    return out
+
+
+def bad_set_call(values: list) -> list:
+    return [value for value in set(values)]  # expect[DET003]
+
+
+def bad_set_comp(values: list) -> int:
+    total = 0
+    for value in {v * 2 for v in values}:  # expect[DET003]
+        total += value
+    return total
+
+
+def bad_local_binding(values: list) -> int:
+    pending = frozenset(values)
+    total = 0
+    for value in pending:  # expect[DET003]
+        total += value
+    return total
+
+
+def suppressed(values: list) -> list:
+    return [value for value in set(values)]  # repro: allow[DET003]
+
+
+def ok_sorted(values: list, table: dict) -> list:
+    ordered = [value for value in sorted(set(values))]
+    return ordered + [key for key in sorted(table.keys())]
+
+
+def ok_literal_set(flag: str) -> bool:
+    matched = False
+    for known in {"poisson", "uniform"}:
+        matched = matched or flag == known
+    return matched
+
+
+def ok_items(table: dict) -> list:
+    return [value for _, value in table.items()]
+
+
+def ok_rebound(values: list) -> list:
+    pending = set(values)
+    pending = sorted(pending)
+    return [value for value in pending]

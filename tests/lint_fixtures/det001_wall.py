@@ -1,0 +1,28 @@
+"""DET001 fixtures: wall-clock reads in simulation-path code."""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+__all__ = ["bad_direct", "bad_datetime", "bad_aliased", "suppressed", "ok_simulated"]
+
+
+def bad_direct() -> float:
+    return time.time()  # expect[DET001]
+
+
+def bad_datetime() -> str:
+    return datetime.now().isoformat()  # expect[DET001]
+
+
+def bad_aliased() -> float:
+    return pc()  # expect[DET001]
+
+
+def suppressed() -> float:
+    return time.perf_counter()  # repro: allow[DET001]
+
+
+def ok_simulated(now_ns: float) -> float:
+    # Simulated time threaded through arguments is the contract.
+    return now_ns + 1_000.0

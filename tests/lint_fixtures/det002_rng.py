@@ -1,0 +1,32 @@
+"""DET002 fixtures: global-state randomness vs seeded Generators."""
+
+import random
+
+import numpy as np
+from numpy.random import rand
+
+__all__ = ["bad_stdlib", "bad_numpy", "bad_from_import", "suppressed", "ok_seeded"]
+
+
+def bad_stdlib() -> float:
+    random.seed(7)  # expect[DET002]
+    return random.random()  # expect[DET002]
+
+
+def bad_numpy() -> np.ndarray:
+    np.random.seed(0)  # expect[DET002]
+    return np.random.rand(3)  # expect[DET002]
+
+
+def bad_from_import() -> np.ndarray:
+    return rand(3)  # expect[DET002]
+
+
+def suppressed() -> int:
+    return random.randint(0, 1)  # repro: allow[DET002]
+
+
+def ok_seeded(seed: int) -> np.ndarray:
+    generator = np.random.default_rng(np.random.SeedSequence([seed]))
+    local = random.Random(seed)
+    return generator.standard_normal(3) + local.random()

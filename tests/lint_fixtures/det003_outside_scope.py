@@ -1,0 +1,11 @@
+"""DET003 negative: identical patterns outside core//serving//storage/.
+
+Order-insensitive tooling (reporting, offline analysis) may iterate
+sets freely; the rule's scope is the subtree feeding the event loop.
+"""
+
+__all__ = ["set_iteration_is_fine_here"]
+
+
+def set_iteration_is_fine_here(values: list) -> list:
+    return [value for value in set(values)]

@@ -1,0 +1,23 @@
+"""DET004 fixtures: deprecated shim usage."""
+
+__all__ = ["bad_shim_call", "bad_shim_reference", "bad_flat_report", "ok_run", "ok_nested"]
+
+
+def bad_shim_call(index, queries, cache) -> tuple:
+    return index.run_mmap_sync(queries, cache, k=1)  # expect[DET004]
+
+
+def bad_shim_reference(index):
+    return index.run_mmap_sync  # expect[DET004]
+
+
+def bad_flat_report(stats, sessions):
+    return stats.report([session.result() for session in sessions])  # expect[DET004]
+
+
+def ok_run(index, queries, cache) -> tuple:
+    return index.run(queries, mode="mmap_sync", cache=cache)
+
+
+def ok_nested(stats, sessions):
+    return stats.report([[session.result() for session in row] for row in sessions])

@@ -1,0 +1,10 @@
+"""DET001 negative: the wall-only module allowlist covers obs/selfprof.py."""
+
+import time
+
+__all__ = ["wall_seconds"]
+
+
+def wall_seconds(start: float) -> float:
+    # Allowlisted wall-only module: no finding expected here.
+    return time.perf_counter() - start

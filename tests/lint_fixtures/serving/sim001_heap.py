@@ -1,0 +1,45 @@
+"""SIM001 fixtures: serving heap pushes and the EVENT_* tag contract."""
+
+import heapq
+from heapq import heappush
+
+EVENT_FLUSH = 1
+
+__all__ = [
+    "EVENT_FLUSH",
+    "bad_untagged",
+    "bad_not_a_tuple",
+    "bad_replace",
+    "bad_from_import",
+    "suppressed",
+    "ok_named_tag",
+    "ok_attribute_tag",
+]
+
+
+def bad_untagged(heap: list, deadline: float, payload: int) -> None:
+    heapq.heappush(heap, (deadline, payload))  # expect[SIM001]
+
+
+def bad_not_a_tuple(heap: list, deadline: float) -> None:
+    heapq.heappush(heap, deadline)  # expect[SIM001]
+
+
+def bad_replace(heap: list, deadline: float, payload: int) -> None:
+    heapq.heapreplace(heap, (deadline, payload))  # expect[SIM001]
+
+
+def bad_from_import(heap: list, deadline: float, payload: int) -> None:
+    heappush(heap, (deadline, payload))  # expect[SIM001]
+
+
+def suppressed(heap: list, deadline: float, payload: int) -> None:
+    heapq.heappush(heap, (deadline, payload))  # repro: allow[SIM001]
+
+
+def ok_named_tag(heap: list, deadline: float, payload: int) -> None:
+    heapq.heappush(heap, (deadline, EVENT_FLUSH, payload))
+
+
+def ok_attribute_tag(heap: list, deadline: float, payload: int, events) -> None:
+    heapq.heappush(heap, (deadline, events.EVENT_HEDGE, payload))

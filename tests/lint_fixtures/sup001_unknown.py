@@ -1,0 +1,7 @@
+"""SUP001 fixture: a suppression naming a rule id the registry lacks."""
+
+__all__ = ["typoed_suppression"]
+
+
+def typoed_suppression(values: list) -> list:
+    return list(values)  # repro: allow[NOPE999]  # expect[SUP001]

@@ -28,15 +28,15 @@ def test_structure_dimensions(built):
 
 
 def test_every_object_retrievable_from_every_table(built):
-    """Each object must appear in its bucket in every (rung, l) table."""
+    """Each object must appear in its bucket in every (rung, li) table."""
     index, data, builder = built
     projections = index.bank.project(data)
     for rung_index in (0, len(index.ladder) - 1):
         radius = index.ladder[rung_index]
         hash_values = index.bank.mix32(index.bank.codes_for_radius(projections, radius))
-        for l in (0, index.params.L - 1):
-            handle = index.tables[rung_index][l]
-            slots, fps = index.codec.split_hash(hash_values[:, l])
+        for li in (0, index.params.L - 1):
+            handle = index.tables[rung_index][li]
+            slots, fps = index.codec.split_hash(hash_values[:, li])
             for obj in (0, 399, 799):
                 slot = int(slots[obj])
                 head = handle.table.read_slot(slot)
