@@ -41,11 +41,17 @@ def summarize(artifact: dict, label: str, timestamp: str | None = None) -> dict:
                 key = f"{bench}[{row['label']}, {row['policy']}]"
             else:  # pragma: no cover - future benchmarks
                 key = bench
-            rows[key] = {
+            summary = {
                 "wall_events_per_sec": row.get("wall_events_per_sec"),
                 "qps": row.get("qps"),
                 "p99_ns": row.get("p99_ns"),
             }
+            if "p99_penalty" in row:
+                # The ingest rows carry the committed p99-penalty bound;
+                # track it so the trajectory shows the cost of ingest
+                # over time, not just raw tail latency.
+                summary["p99_penalty"] = row["p99_penalty"]
+            rows[key] = summary
     return {
         "schema": TRAJECTORY_SCHEMA,
         "label": label,

@@ -39,6 +39,7 @@ DEFAULT_TOLERANCE = 0.20
 ROW_KEYS = {
     "serving_shards": ("n_shards", "scheme"),
     "serving_replicas": ("label", "policy"),
+    "serving_ingest": ("label", "policy"),
 }
 
 
@@ -106,6 +107,27 @@ def compare(baseline: dict, fresh: dict, tolerance: float, out=sys.stdout) -> in
                 f"{verdict:>9s} {label}: {base_rate:,.0f} -> {new_rate:,.0f} "
                 f"events/s ({change:+.1%}, floor {floor:,.0f})\n"
             )
+            # The ingest p99 penalty is a simulated-domain figure, but
+            # unlike qps drift it is a *gated* one: it is the committed
+            # bound on what streaming ingest may cost the query tail,
+            # so a >tolerance worsening fails the comparison outright.
+            base_penalty = base.get("p99_penalty", 0.0)
+            new_penalty = new.get("p99_penalty", 0.0)
+            if base_penalty > 1.0 and new_penalty > 0.0:
+                ceiling = base_penalty * (1.0 + tolerance)
+                if new_penalty > ceiling:
+                    regressions += 1
+                    out.write(
+                        f"{'REGRESSED':>9s} {label}: ingest p99 penalty "
+                        f"{base_penalty:.2f}x -> {new_penalty:.2f}x "
+                        f"(ceiling {ceiling:.2f}x)\n"
+                    )
+                elif abs(new_penalty - base_penalty) > 1e-9:
+                    out.write(
+                        f"{'note':>9s} {label}: ingest p99 penalty "
+                        f"{base_penalty:.2f}x -> {new_penalty:.2f}x "
+                        f"(within the {ceiling:.2f}x ceiling)\n"
+                    )
             if "qps" in base and "qps" in new and base["qps"]:
                 drift = new["qps"] / base["qps"] - 1.0
                 if abs(drift) > 1e-9:

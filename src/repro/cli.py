@@ -173,6 +173,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--zipf", type=float, default=WorkloadSpec.zipf_s, help="query reuse skew"
     )
     loadtest.add_argument(
+        "--ingest-requests",
+        type=int,
+        default=WorkloadSpec.ingest_requests,
+        help="total ingest updates offered alongside the queries "
+        "(0 disables the ingest traffic class)",
+    )
+    loadtest.add_argument(
+        "--ingest-qps",
+        type=float,
+        default=WorkloadSpec.ingest_qps,
+        help="offered update rate (updates/s; requires --ingest-requests)",
+    )
+    loadtest.add_argument(
+        "--delete-fraction",
+        type=float,
+        default=WorkloadSpec.delete_fraction,
+        help="fraction of ingest updates that are deletes",
+    )
+    loadtest.add_argument(
         "--batch", type=int, default=ServingConfig.max_batch, help="micro-batch size"
     )
     loadtest.add_argument(
@@ -455,6 +474,9 @@ def _scenario_from_loadtest(args: argparse.Namespace) -> ScenarioSpec:
                 shape=args.arrivals if args.mode == "open" else "poisson",
                 zipf_s=args.zipf,
                 concurrency=args.concurrency,
+                ingest_requests=args.ingest_requests,
+                ingest_qps=args.ingest_qps,
+                delete_fraction=args.delete_fraction,
             ),
             faults=FaultTimeline(events=faults),
             seed=args.seed,

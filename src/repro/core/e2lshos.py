@@ -234,6 +234,33 @@ class E2LSHoSIndex:
         """Runtime DRAM: database + resident index data (Table 6)."""
         return self.data.nbytes + self.built.dram_bytes
 
+    # -- maintenance hooks ----------------------------------------------------
+
+    def invalidate_query_caches(self) -> None:
+        """Drop the lazily-built query caches after an index mutation.
+
+        :class:`~repro.core.updates.IndexUpdater` rewrites bucket chains
+        and occupancy filters in place; the per-rung flattened lookup
+        tables and the hash-plan memo would otherwise keep serving the
+        pre-mutation view (hiding fresh inserts from vectorized
+        queries).  Maintenance paths must call this after every batch of
+        store mutations.
+        """
+        self._rung_lookups.clear()
+        self._plan_cache.clear()
+
+    def maintenance_compute_ns(self, count: int) -> float:
+        """Modelled CPU cost of hashing ``count`` objects for maintenance.
+
+        Inserting an object hashes it once per rung across all tables —
+        the same projection + per-rung lattice-code work a query spends
+        before it touches storage — so merge jobs charge this per delta
+        entry they rewrite into the static tables.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        return count * (self._proj_ns + len(self.built.ladder) * self._rung_ns)
+
     # -- query tasks ----------------------------------------------------------
 
     def query_tasks(

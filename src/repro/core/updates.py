@@ -52,6 +52,13 @@ class UpdateStats:
     deleted: int = 0
     blocks_rewritten: int = 0
     blocks_allocated: int = 0
+    #: Head/chain blocks read during read-modify-write maintenance.
+    blocks_read: int = 0
+
+    @property
+    def io_requests(self) -> int:
+        """Device requests maintenance cost (reads + block writes)."""
+        return self.blocks_read + self.blocks_rewritten + self.blocks_allocated
 
 
 class IndexUpdater:
@@ -121,6 +128,7 @@ class IndexUpdater:
         head = handle.table.read_slot(slot)
         if head != NULL_ADDRESS:
             raw = store.read(head, min(built.block_size, store.size_bytes - head))
+            self.stats.blocks_read += 1
             block = decode_block(codec, raw)
             if block.count < capacity:
                 # Head block has room only if its on-storage record does
@@ -182,6 +190,7 @@ class IndexUpdater:
         address = handle.table.read_slot(slot)
         while address != NULL_ADDRESS:
             raw = store.read(address, min(built.block_size, store.size_bytes - address))
+            self.stats.blocks_read += 1
             block = decode_block(codec, raw)
             match = (block.object_ids == object_id) & (block.fingerprints == fingerprint)
             if match.any():

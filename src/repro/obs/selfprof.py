@@ -7,7 +7,8 @@ is the perf figure the ROADMAP tracks as a committed trajectory
 (``BENCH_serving.json``, diffed by ``benchmarks/compare_bench.py``).
 
 :class:`LoopProfile` counts each event the service loop processes by
-type (completion / flush / hedge / arrival) — plain integer increments,
+type (completion / flush / hedge / arrival / update) — plain integer
+increments,
 cheap enough to leave always-on — and brackets the run with
 ``time.perf_counter`` for the wall-clock rate.  The per-type counts are
 deterministic for a given seed; the wall-clock figures obviously are
@@ -31,6 +32,7 @@ class LoopProfile:
         "hedges",
         "arrivals",
         "rejections",
+        "updates",
         "_wall_start",
         "wall_seconds",
     )
@@ -44,6 +46,8 @@ class LoopProfile:
         self.arrivals = 0
         #: Arrivals shed by admission control (subset of ``arrivals``).
         self.rejections = 0
+        #: Ingest updates offered to admission (second traffic class).
+        self.updates = 0
         self._wall_start: float | None = None
         self.wall_seconds = 0.0
 
@@ -61,7 +65,9 @@ class LoopProfile:
     @property
     def events_total(self) -> int:
         """Loop iterations that processed an event."""
-        return self.engine_steps + self.flushes + self.hedges + self.arrivals
+        return (
+            self.engine_steps + self.flushes + self.hedges + self.arrivals + self.updates
+        )
 
     def checkpoint(self) -> dict[str, float]:
         """Wall figures as of *now*, usable mid-run.
@@ -97,6 +103,7 @@ class LoopProfile:
             "hedges": self.hedges,
             "arrivals": self.arrivals,
             "rejections": self.rejections,
+            "updates": self.updates,
         }
 
     def as_dict(self) -> dict[str, Any]:

@@ -16,12 +16,17 @@ index CPU/IOPS-bound; this package puts a *service* in front of it:
 - :mod:`repro.serving.stats` — throughput, latency percentiles, queue
   depth, per-replica IOPS and activity, and hedge win/loss accounting.
 - :mod:`repro.serving.events` — the named event-class tie-order tags
-  (``EVENT_COMPLETION`` ... ``EVENT_ARRIVAL``) every serving heap
+  (``EVENT_COMPLETION`` ... ``EVENT_UPDATE``) every serving heap
   entry carries; ``repro lint`` rule SIM001 enforces the shape.
+- :mod:`repro.serving.ingest` — streaming insert/delete traffic as a
+  second traffic class: per-shard DRAM delta tables and tombstones
+  queried alongside the static index, plus background merge/compaction
+  jobs that rewrite deltas into the block store and compete with
+  queries for device IOPS.
 - :mod:`repro.serving.service` — the discrete-event loop tying
-  arrivals, dispatch, hedging, and replica engines together in
+  arrivals, dispatch, hedging, ingest, and replica engines together in
   simulated time (tie order: completions -> flushes -> hedges ->
-  arrivals).
+  arrivals -> updates).
 - :mod:`repro.serving.config` — typed, JSON-round-trippable config
   dataclasses for every layer above (deployment, workload, fault
   timeline).
@@ -36,12 +41,20 @@ index CPU/IOPS-bound; this package puts a *service* in front of it:
 from repro.serving.catalog import CATALOG_NAMES, build_scenario, catalog
 from repro.serving.config import (
     ARRIVAL_SHAPES,
+    INGEST_SHAPES,
     DataConfig,
     FaultTimeline,
     ServingConfig,
     WorkloadSpec,
 )
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
+from repro.serving.ingest import (
+    INGEST_KINDS,
+    IngestConfig,
+    IngestCoordinator,
+    MergeTicket,
+    UpdateArrival,
+)
 from repro.serving.loadgen import (
     Arrival,
     ClosedLoopWorkload,
@@ -65,6 +78,7 @@ from repro.serving.events import (
     EVENT_COMPLETION,
     EVENT_FLUSH,
     EVENT_HEDGE,
+    EVENT_UPDATE,
     TIE_ORDER,
 )
 from repro.serving.scenario import (
@@ -74,10 +88,17 @@ from repro.serving.scenario import (
     build_scenario_index,
     run_scenario,
     workload_arrivals,
+    workload_updates,
 )
 from repro.serving.service import QueryService
 from repro.serving.sharding import Shard, ShardedIndex, ShardPlan, merge_answers, plan_shards
-from repro.serving.stats import ServiceReport, ServiceStats, percentile
+from repro.serving.stats import (
+    MergeRecord,
+    ServiceReport,
+    ServiceStats,
+    UpdateRecord,
+    percentile,
+)
 
 __all__ = [
     "ARRIVAL_SHAPES",
@@ -92,8 +113,15 @@ __all__ = [
     "EVENT_COMPLETION",
     "EVENT_FLUSH",
     "EVENT_HEDGE",
+    "EVENT_UPDATE",
     "FaultSpec",
     "FaultTimeline",
+    "INGEST_KINDS",
+    "INGEST_SHAPES",
+    "IngestConfig",
+    "IngestCoordinator",
+    "MergeRecord",
+    "MergeTicket",
     "OpenLoopWorkload",
     "QueryService",
     "QuerySelector",
@@ -113,6 +141,8 @@ __all__ = [
     "StallingDevice",
     "TIE_ORDER",
     "TimelineDevice",
+    "UpdateArrival",
+    "UpdateRecord",
     "WorkloadSpec",
     "build_scenario",
     "build_scenario_index",
@@ -124,4 +154,5 @@ __all__ = [
     "run_scenario",
     "thinned_arrival_times",
     "workload_arrivals",
+    "workload_updates",
 ]

@@ -25,6 +25,12 @@ scenario                      the situation
                               a mid-run window; hedged routing races past it
 ``correlated-fault``          one replica of *every* shard degrades 4x in the
                               same window — a bad rack, not a bad disk
+``steady-ingest``             sustained insert/delete stream at ~25% of the
+                              query rate; delta tables and background merges
+                              compete with queries for IOPS
+``compaction-stall-storm``    the steady ingest mix while a stalling replica
+                              holds merge windows open — deltas and ingest
+                              lanes fill behind the stalled compaction
 ============================  =================================================
 
 The ``quick`` scale keeps CI smoke runs under a few seconds; the full
@@ -52,6 +58,8 @@ __all__ = [
     "hot_set_drift",
     "replica_stall_storm",
     "correlated_fault",
+    "steady_ingest",
+    "compaction_stall_storm",
 ]
 
 
@@ -196,6 +204,72 @@ def correlated_fault(scale: CatalogScale) -> ScenarioSpec:
     )
 
 
+def _ingest_serving(scale: CatalogScale, routing: str) -> ServingConfig:
+    """The ingest entries' deployment: the fleet plus delta/merge knobs.
+
+    Merge thresholds scale with the request count so both scales see
+    several full merge cycles, and the delta stays small enough that a
+    stalled merge visibly backpressures the ingest lanes.
+    """
+    threshold = max(2, scale.requests // 8)
+    return ServingConfig(
+        **_FLEET,
+        routing=routing,
+        delta_capacity=threshold * 4,
+        merge_threshold=threshold,
+        ingest_queue_capacity=max(8, scale.requests // 2),
+        merge_io_batch=16,
+    )
+
+
+def _ingest_workload(scale: CatalogScale) -> WorkloadSpec:
+    """Steady queries plus a sustained insert/delete stream at ~25% QPS."""
+    return WorkloadSpec(
+        requests=scale.requests,
+        qps=scale.qps,
+        zipf_s=0.9,
+        ingest_requests=max(8, scale.requests // 2),
+        ingest_qps=scale.qps / 4.0,
+        delete_fraction=0.25,
+    )
+
+
+def steady_ingest(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="steady-ingest",
+        description="sustained insert/delete stream at ~25% of the query "
+        "rate; delta tables and background merges compete with queries "
+        "for device IOPS",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=_ingest_serving(scale, routing="least_outstanding"),
+        workload=_ingest_workload(scale),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
+def compaction_stall_storm(scale: CatalogScale) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="compaction-stall-storm",
+        description="the steady ingest mix while one replica takes "
+        "periodic GC-style stalls; stalled merge tasks hold the merge "
+        "window open and the delta/ingest lanes fill behind it",
+        data=DataConfig(n=scale.n, pool_queries=scale.pool_queries),
+        serving=_ingest_serving(scale, routing="hedged"),
+        workload=_ingest_workload(scale),
+        faults=FaultTimeline.stall_storm(
+            shard=0,
+            replica=1,
+            stall_period_ns=scale.run_ns / 16.0,
+            stall_duration_ns=scale.run_ns / 32.0,
+            start_ns=scale.run_ns / 4.0,
+            stop_ns=3.0 * scale.run_ns / 4.0,
+        ),
+        seed=_SEED,
+        target_p99_ms=_TARGET_P99_MS,
+    )
+
+
 _BUILDERS = {
     "steady-state": steady_state,
     "flash-crowd": flash_crowd,
@@ -203,6 +277,8 @@ _BUILDERS = {
     "hot-set-drift": hot_set_drift,
     "replica-stall-storm": replica_stall_storm,
     "correlated-fault": correlated_fault,
+    "steady-ingest": steady_ingest,
+    "compaction-stall-storm": compaction_stall_storm,
 }
 
 CATALOG_NAMES: tuple[str, ...] = tuple(_BUILDERS)

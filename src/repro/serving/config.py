@@ -34,6 +34,7 @@ from typing import Any
 
 from repro.datasets.registry import DATASET_NAMES
 from repro.serving.dispatcher import DispatchConfig
+from repro.serving.ingest import IngestConfig
 from repro.serving.replication import FaultSpec, RoutingConfig
 from repro.serving.sharding import PARTITION_SCHEMES
 from repro.storage.profiles import DEVICE_PROFILES, INTERFACE_PROFILES
@@ -41,6 +42,7 @@ from repro.utils.units import NS_PER_US
 
 __all__ = [
     "ARRIVAL_SHAPES",
+    "INGEST_SHAPES",
     "WORKLOAD_MODES",
     "DataConfig",
     "ServingConfig",
@@ -50,6 +52,9 @@ __all__ = [
 ]
 
 ARRIVAL_SHAPES = ("poisson", "uniform", "diurnal", "flash_crowd", "ramp")
+#: Ingest updates arrive at a constant base rate; the exotic query
+#: shapes make no sense for maintenance traffic.
+INGEST_SHAPES = ("poisson", "uniform")
 WORKLOAD_MODES = ("open", "closed")
 
 
@@ -137,6 +142,15 @@ class ServingConfig:
     batch_delay_us: float = DispatchConfig.max_delay_ns / NS_PER_US
     #: Bounded admission: max outstanding sub-queries per replica lane.
     queue_capacity: int = DispatchConfig.queue_capacity
+    # -- ingest (delta tables / background merges) --
+    #: Max unmerged delta entries a shard holds before updates queue.
+    delta_capacity: int = IngestConfig.delta_capacity
+    #: Delta size that triggers a background merge.
+    merge_threshold: int = IngestConfig.merge_threshold
+    #: Bounded ingest admission queue per shard.
+    ingest_queue_capacity: int = IngestConfig.queue_capacity
+    #: Maintenance writes per wave a background merge issues.
+    merge_io_batch: int = IngestConfig.merge_io_batch
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -174,6 +188,7 @@ class ServingConfig:
         # 'hedged' policy).
         self.routing_config()
         self.dispatch_config()
+        self.ingest_config()
 
     def routing_config(self) -> RoutingConfig:
         """The :class:`RoutingConfig` this deployment runs with."""
@@ -188,6 +203,15 @@ class ServingConfig:
             max_batch=self.max_batch,
             max_delay_ns=self.batch_delay_us * NS_PER_US,
             queue_capacity=self.queue_capacity,
+        )
+
+    def ingest_config(self) -> IngestConfig:
+        """The :class:`IngestConfig` this deployment runs with."""
+        return IngestConfig(
+            delta_capacity=self.delta_capacity,
+            merge_threshold=self.merge_threshold,
+            queue_capacity=self.ingest_queue_capacity,
+            merge_io_batch=self.merge_io_batch,
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -223,6 +247,11 @@ class WorkloadSpec:
     optional Zipf skew; ``hot_drift_period_us > 0`` rotates *which* pool
     entries are hot by ``hot_drift_stride`` positions every period (the
     shifting-hot-set shape result caches must survive).
+
+    ``ingest_requests > 0`` adds a second, concurrent traffic class:
+    inserts/deletes offered at ``ingest_qps`` (its own constant-rate
+    process, seeded independently of the query arrivals so adding ingest
+    never perturbs the query stream).
     """
 
     mode: str = "open"
@@ -248,6 +277,16 @@ class WorkloadSpec:
     # -- closed loop --
     concurrency: int = 16
     think_time_us: float = 0.0
+    # -- ingest mix (second traffic class, open loop only) --
+    #: Updates offered over the run; 0 disables ingest.
+    ingest_requests: int = 0
+    #: Offered update rate (updates/s).
+    ingest_qps: float = 0.0
+    #: Fraction of updates that are deletes (of earlier inserts or of
+    #: initial objects); the rest are inserts.
+    delete_fraction: float = 0.0
+    #: Update inter-arrival process.
+    ingest_shape: str = "poisson"
 
     def __post_init__(self) -> None:
         if self.mode not in WORKLOAD_MODES:
@@ -325,6 +364,32 @@ class WorkloadSpec:
                 )
         elif self.hot_drift_stride:
             raise ValueError("hot_drift_stride needs hot_drift_period_us > 0")
+        if self.ingest_requests < 0:
+            raise ValueError(
+                f"ingest_requests must be >= 0, got {self.ingest_requests}"
+            )
+        if self.ingest_shape not in INGEST_SHAPES:
+            raise ValueError(
+                f"unknown ingest shape {self.ingest_shape!r}; known: {INGEST_SHAPES}"
+            )
+        if self.ingest_requests > 0:
+            if self.mode != "open":
+                raise ValueError("the ingest mix needs an open-loop workload")
+            if self.ingest_qps <= 0:
+                raise ValueError(
+                    "ingest_requests > 0 needs ingest_qps > 0, "
+                    f"got {self.ingest_qps}"
+                )
+            if not 0 <= self.delete_fraction <= 1:
+                raise ValueError(
+                    f"delete_fraction must be in [0, 1], got {self.delete_fraction}"
+                )
+        else:
+            if self.ingest_qps or self.delete_fraction:
+                raise ValueError(
+                    "ingest_qps/delete_fraction only apply when "
+                    f"ingest_requests > 0 (got {self.ingest_requests})"
+                )
 
     # -- the rate function ----------------------------------------------------
 

@@ -33,7 +33,7 @@ import heapq
 import math
 from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -43,6 +43,9 @@ from repro.serving.replication import ReplicaRouter, RoutingConfig
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import ServiceStats
 from repro.storage.engine import Completion, EngineSession
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.ingest import IngestCoordinator, UpdateArrival
 
 __all__ = ["DispatchConfig", "Dispatcher"]
 
@@ -148,6 +151,10 @@ class Dispatcher:
         #: Sub-queries whose answer arrived but whose hedge copy is still
         #: in flight; the copy's completion is discarded on arrival.
         self._expect_loser: set[tuple[int, int]] = set()
+        #: Ingest coordinator handling the update traffic class (set by
+        #: the service when the run carries an update stream); update
+        #: admission rides its own per-shard lanes, never the query lanes.
+        self.ingest: "IngestCoordinator | None" = None
 
     @staticmethod
     def _check_sessions(
@@ -198,6 +205,20 @@ class Dispatcher:
             if len(self._lanes[shard_id][replica].pending) >= self.config.max_batch:
                 self._flush(shard_id, replica, now_ns)
         return True
+
+    def admit_update(self, now_ns: float, update: "UpdateArrival") -> None:
+        """Admit one ingest update (second traffic class).
+
+        Updates never touch the query lanes: the ingest coordinator
+        keeps its own bounded per-shard lanes and sheds into
+        ``updates_rejected``, so an ingest storm backpressures ingest
+        instead of starving query admission.
+        """
+        if self.ingest is None:
+            raise RuntimeError(
+                "update admitted on a dispatcher with no ingest coordinator"
+            )
+        self.ingest.admit(now_ns, update)
 
     def _enqueue(
         self,
@@ -307,6 +328,12 @@ class Dispatcher:
     def outstanding_counts(self) -> list[list[int]]:
         """Outstanding sub-queries (queued + in flight) per lane."""
         return [[lane.outstanding for lane in row] for row in self._lanes]
+
+    def ingest_queue_depths(self) -> list[int]:
+        """Queued updates per shard ingest lane ([] without ingest)."""
+        if self.ingest is None:
+            return []
+        return self.ingest.lane_depths()
 
     # -- hedging --------------------------------------------------------------
 

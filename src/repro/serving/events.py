@@ -1,16 +1,17 @@
 """Event-class tie-order tags for the serving event loop's heaps.
 
-The :class:`~repro.serving.service.QueryService` loop is a four-source
+The :class:`~repro.serving.service.QueryService` loop is a five-source
 discrete-event simulation, and **tie order at equal timestamps is part
 of the determinism contract**: completions run before flushes, flushes
-before hedges, hedges before arrivals (see the ``service.py`` module
-docstring; regression tests pin one seed to a byte-identical
-``ServiceReport``).  Every heap in ``repro.serving`` therefore keys its
-entries as ``(time_ns, EVENT_<CLASS>, ...)``: the tag names which
-contract class the entry belongs to, keeps same-time entries ordered by
-an explicit field instead of whatever payload happens to sit at index
-1, and makes every push site greppable for its class.  The SIM001 rule
-of ``repro lint`` enforces the shape statically.
+before hedges, hedges before arrivals, arrivals before updates (see the
+``service.py`` module docstring; regression tests pin one seed to a
+byte-identical ``ServiceReport``).  Every heap in ``repro.serving``
+therefore keys its entries as ``(time_ns, EVENT_<CLASS>, ...)``: the
+tag names which contract class the entry belongs to, keeps same-time
+entries ordered by an explicit field instead of whatever payload
+happens to sit at index 1, and makes every push site greppable for its
+class.  The SIM001 rule of ``repro lint`` enforces the shape
+statically.
 
 The numeric values mirror the loop's tie order, so the tags would sort
 correctly even if entries of different classes ever shared one heap.
@@ -23,6 +24,7 @@ __all__ = [
     "EVENT_FLUSH",
     "EVENT_HEDGE",
     "EVENT_ARRIVAL",
+    "EVENT_UPDATE",
     "TIE_ORDER",
 ]
 
@@ -32,8 +34,12 @@ EVENT_COMPLETION = 0
 EVENT_FLUSH = 1
 #: An armed hedge timer firing.
 EVENT_HEDGE = 2
-#: A client query arriving (runs last at equal times).
+#: A client query arriving.
 EVENT_ARRIVAL = 3
+#: An ingest update (insert/delete) arriving (runs last at equal
+#: times, so the query path of a no-ingest run is byte-identical to a
+#: loop that never heard of updates).
+EVENT_UPDATE = 4
 
 #: The pinned processing order at equal timestamps.
-TIE_ORDER = (EVENT_COMPLETION, EVENT_FLUSH, EVENT_HEDGE, EVENT_ARRIVAL)
+TIE_ORDER = (EVENT_COMPLETION, EVENT_FLUSH, EVENT_HEDGE, EVENT_ARRIVAL, EVENT_UPDATE)

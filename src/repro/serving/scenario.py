@@ -44,6 +44,7 @@ from repro.serving.loadgen import (
     QuerySelector,
     thinned_arrival_times,
 )
+from repro.serving.ingest import UpdateArrival
 from repro.serving.service import QueryService
 from repro.serving.sharding import ShardedIndex
 from repro.serving.stats import QueryRecord, ServiceReport
@@ -60,6 +61,7 @@ __all__ = [
     "ScenarioIndex",
     "ScenarioResult",
     "workload_arrivals",
+    "workload_updates",
     "build_scenario_index",
     "run_scenario",
 ]
@@ -179,6 +181,65 @@ def workload_arrivals(
         Arrival(query_id=i, time_ns=float(times[i]), pool_index=selector.select(i))
         for i in range(n)
     ]
+
+
+def workload_updates(
+    workload: WorkloadSpec, data: np.ndarray, seed: int
+) -> list[UpdateArrival]:
+    """Materialize a workload spec's ingest mix (inserts and deletes).
+
+    Seeded ``seed + 2`` — its own rng stream next to the arrival stream
+    (``seed``) and the query selector (``seed + 1``), so turning ingest
+    on never perturbs the query side.  Insert vectors are dataset rows
+    plus small Gaussian noise (new objects from the same distribution);
+    delete targets are drawn from the *scheduled* live population —
+    initial objects and earlier scheduled inserts — so deletes can hit
+    objects still sitting in a delta table.
+    """
+    if workload.mode != "open":
+        raise ValueError("workload_updates needs an open-loop workload spec")
+    if workload.ingest_requests == 0:
+        return []
+    rng = np.random.default_rng(seed + 2)
+    n = workload.ingest_requests
+    gap_ns = NS_PER_S / workload.ingest_qps
+    if workload.ingest_shape == "poisson":
+        times = np.cumsum(rng.exponential(gap_ns, size=n))
+    else:
+        times = np.cumsum(np.full(n, gap_ns))
+    initial_n = int(data.shape[0])
+    noise_scale = 0.05 * float(data.std())
+    live: list[int] = list(range(initial_n))
+    next_scheduled = initial_n
+    updates: list[UpdateArrival] = []
+    for i in range(n):
+        is_delete = bool(live) and float(rng.random()) < workload.delete_fraction
+        if is_delete:
+            slot = int(rng.integers(len(live)))
+            target = live.pop(slot)
+            updates.append(
+                UpdateArrival(
+                    update_id=i,
+                    time_ns=float(times[i]),
+                    kind="delete",
+                    object_id=target,
+                )
+            )
+        else:
+            row = int(rng.integers(initial_n))
+            vector = data[row] + rng.normal(scale=noise_scale, size=data.shape[1])
+            updates.append(
+                UpdateArrival(
+                    update_id=i,
+                    time_ns=float(times[i]),
+                    kind="insert",
+                    object_id=next_scheduled,
+                    vector=np.ascontiguousarray(vector, dtype=np.float32),
+                )
+            )
+            live.append(next_scheduled)
+            next_scheduled += 1
+    return updates
 
 
 @dataclass(frozen=True)
@@ -309,5 +370,15 @@ def run_scenario(
         report = service.run_closed_loop(pool, closed, k=spec.k)
     else:
         arrivals = workload_arrivals(workload, pool.shape[0], spec.seed)
-        report = service.run_arrivals(pool, arrivals, k=spec.k)
+        if workload.ingest_requests > 0:
+            updates = workload_updates(workload, index.dataset.data, spec.seed)
+            report = service.run_arrivals(
+                pool,
+                arrivals,
+                k=spec.k,
+                updates=updates,
+                ingest=spec.serving.ingest_config(),
+            )
+        else:
+            report = service.run_arrivals(pool, arrivals, k=spec.k)
     return ScenarioResult(spec=spec, report=report, index=index, service=service)

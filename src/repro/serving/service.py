@@ -1,22 +1,25 @@
 """The query service: arrivals -> dispatcher -> replica engines, in one
 simulated clock.
 
-The loop is a four-source discrete-event simulation.  At every
+The loop is a five-source discrete-event simulation.  At every
 iteration the earliest of
 
 1. the next resumable task on any replica's engine session,
 2. the next micro-batch time trigger (dispatcher lane deadline),
 3. the next armed hedge deadline (hedged routing only),
-4. the next query arrival
+4. the next query arrival,
+5. the next ingest update arrival (insert/delete traffic)
 
 is processed.  **Tie order is part of the contract**: at equal
 timestamps, completions run before flushes, flushes before hedges,
-hedges before arrivals.  Completions first means a sub-query finishing
-exactly at its hedge deadline cancels the timer instead of issuing a
-useless duplicate, and frees its admission slot before a same-instant
-arrival is considered; hedges before arrivals means a duplicate joins
-the micro-batch an arrival would trigger.  Regression tests pin this
-order — do not reorder the branches.
+hedges before arrivals, arrivals before updates.  Completions first
+means a sub-query finishing exactly at its hedge deadline cancels the
+timer instead of issuing a useless duplicate, and frees its admission
+slot before a same-instant arrival is considered; hedges before
+arrivals means a duplicate joins the micro-batch an arrival would
+trigger; updates last means the query path of a no-ingest run is
+byte-identical to a loop that never heard of updates.  Regression tests
+pin this order — do not reorder the branches.
 
 Replica sessions advance independently (each replica owns its device
 volume), but completions feed back into the loop: the last shard answer
@@ -43,7 +46,13 @@ from repro.obs.metrics import MetricsRegistry, Timeline
 from repro.obs.selfprof import LoopProfile
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.serving.dispatcher import DispatchConfig, Dispatcher
-from repro.serving.events import EVENT_ARRIVAL
+from repro.serving.events import EVENT_ARRIVAL, EVENT_UPDATE
+from repro.serving.ingest import (
+    IngestConfig,
+    IngestCoordinator,
+    MergeTicket,
+    UpdateArrival,
+)
 from repro.serving.loadgen import (
     Arrival,
     ClosedLoopWorkload,
@@ -104,6 +113,10 @@ class QueryService:
         self.timeline: Timeline | None = None
         #: Wall-clock self-profile of the last run's event loop.
         self.loop_profile = LoopProfile()
+        #: Ingest coordinator of the last run (``None`` unless the run
+        #: carried an update stream); exposes the delta/merge state for
+        #: post-run verification (e.g. offline compaction).
+        self.ingest: IngestCoordinator | None = None
 
     # -- public entry points --------------------------------------------------
 
@@ -144,7 +157,12 @@ class QueryService:
         return self._run(pool, initial, on_done=on_done, k=k)
 
     def run_arrivals(
-        self, pool: np.ndarray, arrivals: list[Arrival], k: int = 10
+        self,
+        pool: np.ndarray,
+        arrivals: list[Arrival],
+        k: int = 10,
+        updates: list[UpdateArrival] | None = None,
+        ingest: IngestConfig | None = None,
     ) -> ServiceReport:
         """Serve a pre-materialized arrival sequence (open loop).
 
@@ -152,6 +170,12 @@ class QueryService:
         whatever its shape or query population — is generated up front
         from the scenario seed, so replaying a spec replays the exact
         event sequence.
+
+        ``updates`` adds a second, concurrent traffic class: inserts and
+        deletes admitted through per-shard ingest lanes, visible to
+        queries via DRAM delta tables/tombstones, and persisted by
+        background merges that compete with queries for device IOPS
+        (see :mod:`repro.serving.ingest`).
         """
         pool = self._check_pool(pool)
         for arrival in arrivals:
@@ -160,7 +184,9 @@ class QueryService:
                     f"arrival {arrival.query_id} targets pool index "
                     f"{arrival.pool_index}, pool has {pool.shape[0]} entries"
                 )
-        return self._run(pool, list(arrivals), on_done=None, k=k)
+        return self._run(
+            pool, list(arrivals), on_done=None, k=k, updates=updates, ingest=ingest
+        )
 
     # -- the event loop -------------------------------------------------------
 
@@ -170,6 +196,8 @@ class QueryService:
         arrivals: list[Arrival],
         on_done: Callable[[float], Arrival | None] | None,
         k: int,
+        updates: list[UpdateArrival] | None = None,
+        ingest: IngestConfig | None = None,
     ) -> ServiceReport:
         self.stats = ServiceStats()
         self.answers = {}
@@ -196,6 +224,24 @@ class QueryService:
             tracer=tracer,
             vectorize=self.vectorize,
         )
+        coordinator: IngestCoordinator | None = None
+        updates_by_id: dict[int, UpdateArrival] = {}
+        # Entries are (time_ns, EVENT_UPDATE, update_id) per the
+        # serving.events tie-order tagging contract (SIM001).
+        update_heap: list[tuple[float, int, int]] = []
+        if updates:
+            coordinator = IngestCoordinator(
+                self.sharded,
+                sessions,
+                ingest if ingest is not None else IngestConfig(),
+                self.stats,
+                max_inserts=sum(1 for u in updates if u.kind == "insert"),
+            )
+            dispatcher.ingest = coordinator
+            updates_by_id = {u.update_id: u for u in updates}
+            update_heap = [(u.time_ns, EVENT_UPDATE, u.update_id) for u in updates]
+            heapq.heapify(update_heap)
+        self.ingest = coordinator
         n_shards = self.sharded.n_shards
         flat_sessions = [
             (shard_id, replica, session)
@@ -262,6 +308,7 @@ class QueryService:
             # all-inf timestamps mean no arrivals, no queued or parked
             # work, and no live hedge timers — i.e. the run is over.
             t_arrival = arrival_heap[0][0] if arrival_heap else math.inf
+            t_update = update_heap[0][0] if update_heap else math.inf
             t_flush = dispatcher.next_flush_ns
             t_hedge = dispatcher.next_hedge_ns
             shard_id, replica, session = flat_sessions[0]
@@ -271,7 +318,7 @@ class QueryService:
                 if t_entry < t_engine:
                     t_engine = t_entry
                     shard_id, replica, session = entry
-            t_next = min(t_arrival, t_flush, t_hedge, t_engine)
+            t_next = min(t_arrival, t_flush, t_hedge, t_engine, t_update)
             if math.isinf(t_next):
                 break
             if timeline is not None:
@@ -279,11 +326,16 @@ class QueryService:
             if profile_timeline is not None:
                 profile_timeline.advance(t_next, profile_sample)
 
-            # Contract: completions -> flushes -> hedges -> arrivals.
-            if t_engine <= min(t_flush, t_hedge, t_arrival):
+            # Contract: completions -> flushes -> hedges -> arrivals -> updates.
+            if t_engine <= min(t_flush, t_hedge, t_arrival, t_update):
                 profile.engine_steps += 1
                 completion = session.step()
                 if completion is None:
+                    continue
+                if coordinator is not None and isinstance(completion.tag, MergeTicket):
+                    # Background merge tasks bypass the dispatcher's
+                    # lane accounting — they were never admitted.
+                    coordinator.merge_task_done(completion.tag, completion.finish_ns)
                     continue
                 part = dispatcher.subquery_done(shard_id, replica, completion)
                 if part is None:
@@ -296,44 +348,57 @@ class QueryService:
                     in_flight[query_id] = (arrival_ns, pool_index, parts, latest)
                     continue
                 del in_flight[query_id]
-                self.answers[query_id] = merge_answers(parts, k)
+                if coordinator is not None:
+                    self.answers[query_id] = coordinator.finish_answer(
+                        parts, pool[pool_index], k
+                    )
+                else:
+                    self.answers[query_id] = merge_answers(parts, k)
                 self.stats.record_completion(query_id, pool_index, arrival_ns, latest)
                 tracer.query_completed(query_id, latest)
                 if on_done is not None:
                     issue(on_done(latest))
                 continue
 
-            if t_flush <= min(t_hedge, t_arrival):
+            if t_flush <= min(t_hedge, t_arrival, t_update):
                 profile.flushes += 1
                 dispatcher.flush_due(t_flush)
                 continue
 
-            if t_hedge <= t_arrival:
+            if t_hedge <= min(t_arrival, t_update):
                 profile.hedges += 1
                 dispatcher.fire_hedges(t_hedge)
                 continue
 
-            profile.arrivals += 1
-            _, _, query_id, pool_index = heapq.heappop(arrival_heap)
-            if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
-                in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
-                tracer.query_admitted(query_id, t_arrival)
-            else:
-                profile.rejections += 1
-                tracer.query_rejected(query_id, t_arrival)
-                if on_done is not None:
-                    # Closed loop: the shed client retries after a backoff.
-                    issue(
-                        Arrival(
-                            query_id=query_id,
-                            time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
-                            pool_index=pool_index,
+            if t_arrival <= t_update:
+                profile.arrivals += 1
+                _, _, query_id, pool_index = heapq.heappop(arrival_heap)
+                if dispatcher.admit(t_arrival, query_id, pool[pool_index], k=k):
+                    in_flight[query_id] = (t_arrival, pool_index, [], 0.0)
+                    tracer.query_admitted(query_id, t_arrival)
+                else:
+                    profile.rejections += 1
+                    tracer.query_rejected(query_id, t_arrival)
+                    if on_done is not None:
+                        # Closed loop: the shed client retries after a backoff.
+                        issue(
+                            Arrival(
+                                query_id=query_id,
+                                time_ns=t_arrival + max(self.dispatch.max_delay_ns, 1.0),
+                                pool_index=pool_index,
+                            )
                         )
-                    )
+                continue
+
+            profile.updates += 1
+            _, _, update_id = heapq.heappop(update_heap)
+            dispatcher.admit_update(t_update, updates_by_id[update_id])
         profile.stop()
 
         if in_flight:  # pragma: no cover - defensive
             raise RuntimeError(f"{len(in_flight)} queries never completed")
+        if coordinator is not None:
+            coordinator.finalize()
         self._publish_metrics()
         return self.stats.report(
             [[session.result() for session in row] for row in sessions]
@@ -351,6 +416,19 @@ class QueryService:
         latency = metrics.histogram("query_latency_ns")
         for record in stats.records:
             latency.observe(record.latency_ns)
+        if stats.update_records or stats.updates_rejected or stats.updates_noop:
+            metrics.counter("updates_completed").inc(len(stats.update_records))
+            metrics.counter("updates_rejected").inc(stats.updates_rejected)
+            metrics.counter("updates_noop").inc(stats.updates_noop)
+            metrics.counter("merges_completed").inc(len(stats.merge_records))
+            metrics.counter("merge_write_ios").inc(
+                sum(record.write_ios for record in stats.merge_records)
+            )
+            # A separate histogram: update latency is its own traffic
+            # class, never folded into query_latency_ns.
+            update_latency = metrics.histogram("update_latency_ns")
+            for update_record in stats.update_records:
+                update_latency.observe(update_record.latency_ns)
         self.loop_profile.publish(metrics)
 
     def metrics_snapshot(self) -> dict:

@@ -254,6 +254,7 @@ class ShardedIndex:
         machine: MachineModel = DEFAULT_MACHINE,
         replicas: int = 1,
         faults: Sequence[FaultSpec] = (),
+        ladder: RadiusLadder | None = None,
     ) -> "ShardedIndex":
         """Partition ``data`` and build one index + engine per shard.
 
@@ -266,6 +267,11 @@ class ShardedIndex:
         ``replicas`` puts R copies of each shard on independent device
         volumes; ``faults`` degrades chosen replicas (see
         :class:`~repro.serving.replication.FaultSpec`).
+
+        ``ladder`` pins an explicit radius ladder instead of deriving it
+        from ``data`` — a rebuild over a dataset grown by streaming
+        ingest must reuse the serving fleet's ladder to answer
+        identically.
         """
         for fault in faults:
             if fault.shard >= n_shards or fault.replica >= replicas:
@@ -282,7 +288,8 @@ class ShardedIndex:
         bank = CompoundHashBank.create(
             d=data.shape[1], m=params.m, L=params.L, w=params.w, seed=seed
         )
-        ladder = RadiusLadder.for_data(data, params.c)
+        if ladder is None:
+            ladder = RadiusLadder.for_data(data, params.c)
         shards: list[Shard] = []
         replica_groups: list[ReplicaGroup] = []
         for shard_id in range(n_shards):

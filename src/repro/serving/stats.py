@@ -26,7 +26,14 @@ import numpy as np
 from repro.storage.engine import EngineResult
 from repro.utils.units import NS_PER_S, format_iops, format_time
 
-__all__ = ["percentile", "QueryRecord", "ServiceStats", "ServiceReport"]
+__all__ = [
+    "percentile",
+    "QueryRecord",
+    "UpdateRecord",
+    "MergeRecord",
+    "ServiceStats",
+    "ServiceReport",
+]
 
 
 def percentile(values: Sequence[float], p: float) -> float:
@@ -56,6 +63,50 @@ class QueryRecord:
         return self.finish_ns - self.arrival_ns
 
 
+@dataclass(frozen=True)
+class UpdateRecord:
+    """Lifecycle of one completed ingest update (insert or delete).
+
+    ``finish_ns`` is when the update was *applied* to the last target
+    shard's delta state — queueing behind a full delta (compaction
+    backpressure) is part of the latency, the background merge that
+    later persists it is not.
+    """
+
+    update_id: int
+    #: ``"insert"`` or ``"delete"``.
+    kind: str
+    arrival_ns: float
+    finish_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Arrival-to-applied ingest latency."""
+        return self.finish_ns - self.arrival_ns
+
+
+@dataclass(frozen=True)
+class MergeRecord:
+    """One completed background merge/compaction on one shard."""
+
+    shard_id: int
+    start_ns: float
+    finish_ns: float
+    #: Delta inserts rewritten into the static tables.
+    inserts: int
+    #: Tombstones compacted out of the static tables.
+    tombstones: int
+    #: Maintenance device requests the rewrite cost.
+    write_ios: int
+    #: Bytes written to the block store (SSD endurance, paper Sec. 7).
+    write_bytes: int
+
+    @property
+    def duration_ns(self) -> float:
+        """Merge-start to last-replica-completion span."""
+        return self.finish_ns - self.start_ns
+
+
 @dataclass
 class ServiceStats:
     """Mutable collector filled in by the service loop."""
@@ -80,6 +131,17 @@ class ServiceStats:
     hedge_losers_cancelled: int = 0
     #: Timers that fired with no replica able to take the duplicate.
     hedges_suppressed: int = 0
+    #: Completed ingest updates (second traffic class; never folded
+    #: into the query latency distribution).
+    update_records: list[UpdateRecord] = field(default_factory=list)
+    #: Updates shed by ingest admission (full lane or exhausted id space).
+    updates_rejected: int = 0
+    #: Deletes that resolved to nothing (target shed or already gone).
+    updates_noop: int = 0
+    #: Completed background merges.
+    merge_records: list[MergeRecord] = field(default_factory=list)
+    #: Unmerged delta entries per shard at run end.
+    merge_debt: tuple[int, ...] = ()
 
     def record_completion(
         self, query_id: int, pool_index: int, arrival_ns: float, finish_ns: float
@@ -97,6 +159,31 @@ class ServiceStats:
     def record_rejection(self) -> None:
         """Note one query shed by admission control."""
         self.rejected += 1
+
+    def record_update(
+        self, update_id: int, kind: str, arrival_ns: float, finish_ns: float
+    ) -> None:
+        """Note one ingest update applied to all its target shards."""
+        self.update_records.append(
+            UpdateRecord(
+                update_id=update_id,
+                kind=kind,
+                arrival_ns=arrival_ns,
+                finish_ns=finish_ns,
+            )
+        )
+
+    def record_update_rejection(self) -> None:
+        """Note one update shed by ingest admission control."""
+        self.updates_rejected += 1
+
+    def record_update_noop(self) -> None:
+        """Note one delete that resolved to nothing."""
+        self.updates_noop += 1
+
+    def record_merge(self, record: MergeRecord) -> None:
+        """Note one background merge completing on all replicas."""
+        self.merge_records.append(record)
 
     def latencies_ns(self) -> np.ndarray:
         """Completed-query latencies in completion order."""
@@ -178,7 +265,50 @@ class ServiceStats:
             hedge_losses=self.hedge_losses,
             hedge_losers_cancelled=self.hedge_losers_cancelled,
             hedges_suppressed=self.hedges_suppressed,
+            **self._ingest_fields(nested),
         )
+
+    def _ingest_fields(self, nested: list[list[EngineResult]]) -> dict[str, object]:
+        """The ingest traffic class's slice of the report.
+
+        Update latency gets its own percentile distribution — folding
+        update completions into the query percentiles would let a flood
+        of cheap delta appends mask a query-tail regression.
+        """
+        update_latencies = [record.latency_ns for record in self.update_records]
+        return {
+            "updates_completed": len(self.update_records),
+            "updates_rejected": self.updates_rejected,
+            "updates_noop": self.updates_noop,
+            "update_p50_ns": (
+                percentile(update_latencies, 50) if update_latencies else 0.0
+            ),
+            "update_p95_ns": (
+                percentile(update_latencies, 95) if update_latencies else 0.0
+            ),
+            "update_p99_ns": (
+                percentile(update_latencies, 99) if update_latencies else 0.0
+            ),
+            "update_max_ns": max(update_latencies, default=0.0),
+            "inserts_applied": sum(
+                1 for record in self.update_records if record.kind == "insert"
+            ),
+            "deletes_applied": sum(
+                1 for record in self.update_records if record.kind == "delete"
+            ),
+            "merges_completed": len(self.merge_records),
+            "merge_write_ios": sum(record.write_ios for record in self.merge_records),
+            "merge_write_bytes": sum(
+                record.write_bytes for record in self.merge_records
+            ),
+            "shard_merge_debt": self.merge_debt,
+            "shard_write_io_counts": tuple(
+                sum(result.write_count for result in row) for row in nested
+            ),
+            "replica_write_io_counts": tuple(
+                tuple(result.write_count for result in row) for row in nested
+            ),
+        }
 
     def _rejection_only_report(
         self, nested: list[list[EngineResult]]
@@ -223,6 +353,7 @@ class ServiceStats:
             hedge_losses=self.hedge_losses,
             hedge_losers_cancelled=self.hedge_losers_cancelled,
             hedges_suppressed=self.hedges_suppressed,
+            **self._ingest_fields(nested),
         )
 
 
@@ -263,6 +394,35 @@ class ServiceReport:
     hedge_losses: int = 0
     hedge_losers_cancelled: int = 0
     hedges_suppressed: int = 0
+    #: Ingest updates applied to all their target shards.
+    updates_completed: int = 0
+    #: Updates shed by ingest admission control.
+    updates_rejected: int = 0
+    #: Deletes that resolved to nothing (their insert was shed, or the
+    #: target was already deleted).
+    updates_noop: int = 0
+    #: Arrival-to-applied update latency percentiles — a separate
+    #: distribution from the query percentiles above, never mixed.
+    update_p50_ns: float = 0.0
+    update_p95_ns: float = 0.0
+    update_p99_ns: float = 0.0
+    update_max_ns: float = 0.0
+    inserts_applied: int = 0
+    deletes_applied: int = 0
+    #: Background merges that completed on every replica.
+    merges_completed: int = 0
+    #: Maintenance device requests all merges cost.
+    merge_write_ios: int = 0
+    #: Block-store bytes all merges wrote (SSD endurance).
+    merge_write_bytes: int = 0
+    #: Unmerged delta entries per shard at run end.
+    shard_merge_debt: tuple[int, ...] = ()
+    #: Maintenance write requests per shard (summed over its replicas);
+    #: ``shard_io_counts`` stays reads-only, so the two columns give the
+    #: query-vs-ingest device split directly.
+    shard_write_io_counts: tuple[int, ...] = ()
+    #: Maintenance write requests per (shard, replica).
+    replica_write_io_counts: tuple[tuple[int, ...], ...] = ()
 
     @property
     def offered(self) -> int:
@@ -318,6 +478,28 @@ class ServiceReport:
                 f"losses {self.hedge_losses}, suppressed {self.hedges_suppressed} "
                 f"({self.hedge_losers_cancelled} losers cancelled in queue, "
                 f"{self.hedge_fraction:.1%} duplicate rate)"
+            )
+        if self.updates_completed or self.updates_rejected or self.updates_noop:
+            # The ingest traffic class reports its own latency
+            # distribution — update completions are never folded into
+            # the query percentiles above.
+            lines.append(
+                f"ingest: applied {self.updates_completed} updates "
+                f"({self.inserts_applied} inserts, {self.deletes_applied} deletes), "
+                f"rejected {self.updates_rejected}, no-ops {self.updates_noop}"
+            )
+            if self.updates_completed:
+                lines.append(
+                    f"ingest latency: p50 {format_time(self.update_p50_ns)}, "
+                    f"p95 {format_time(self.update_p95_ns)}, "
+                    f"p99 {format_time(self.update_p99_ns)}, "
+                    f"max {format_time(self.update_max_ns)}"
+                )
+            lines.append(
+                f"merges: {self.merges_completed} completed, "
+                f"{self.merge_write_ios} write IOs, "
+                f"{self.merge_write_bytes:,} bytes written, "
+                f"debt {list(self.shard_merge_debt)}"
             )
         return "\n".join(lines)
 

@@ -10,7 +10,13 @@ yield actions:
 - ``ReadBatch([...])``: issue several reads back-to-back (the paper
   issues requests for all L buckets of a query before switching to
   another query, Sec. 5.4); the task resumes with the list of results
-  when the *last* read completes.
+  when the *last* read completes,
+- ``Write(address, length)`` / ``WriteBatch([...])``: book device time
+  for maintenance writes (delta-table merges rewriting bucket chains).
+  Writes go through the same device volume as reads — compaction
+  competes with queries for the same IOPS — but are counted separately
+  (``write_count`` / ``write_bytes``), giving the query-vs-ingest I/O
+  split and the SSD-endurance write volume of the paper's Sec. 7.
 
 The engine multiplexes many tasks over one or more simulated CPU
 workers.  While one task waits for the device, the worker runs another
@@ -41,6 +47,8 @@ from repro.utils.units import NS_PER_S
 __all__ = [
     "Read",
     "ReadBatch",
+    "Write",
+    "WriteBatch",
     "Compute",
     "Completion",
     "EngineResult",
@@ -51,7 +59,7 @@ __all__ = [
 ]
 
 #: A query task: a generator yielding actions and finally returning a result.
-Task = Generator["Read | ReadBatch | Compute", Any, Any]
+Task = Generator["Read | ReadBatch | Write | WriteBatch | Compute", Any, Any]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +73,30 @@ class Read:
 @dataclass(frozen=True, slots=True)
 class ReadBatch:
     """Several reads issued back-to-back; resumes when all complete."""
+
+    requests: tuple[tuple[int, int], ...]
+
+    def __init__(self, requests: Iterable[tuple[int, int]]) -> None:
+        object.__setattr__(self, "requests", tuple(requests))
+
+
+@dataclass(frozen=True, slots=True)
+class Write:
+    """Book device time for a ``length``-byte write at byte ``address``.
+
+    Only timing and accounting: the block-store mutation itself is the
+    caller's business (merge jobs mutate the store eagerly and use
+    Write actions to charge the device for it).  The task resumes with
+    ``None``.
+    """
+
+    address: int
+    length: int
+
+
+@dataclass(frozen=True, slots=True)
+class WriteBatch:
+    """Several writes issued back-to-back; resumes when all complete."""
 
     requests: tuple[tuple[int, int], ...]
 
@@ -101,6 +133,10 @@ class EngineResult:
     device_stats: DeviceStats = field(default_factory=DeviceStats)
     #: Number of CPU workers used.
     workers: int = 1
+    #: Maintenance write requests issued (``io_count`` counts reads).
+    write_count: int = 0
+    #: Maintenance bytes written through Write/WriteBatch actions.
+    write_bytes: int = 0
 
     @property
     def mean_task_time_ns(self) -> float:
@@ -210,6 +246,8 @@ class EngineSession:
         self._results: list[Any] = []
         self._finish_times: list[float] = []
         self.io_count = 0
+        self.write_count = 0
+        self.write_bytes = 0
         self.compute_ns = 0.0
         self.io_cpu_ns = 0.0
         self.stall_ns = 0.0
@@ -348,6 +386,7 @@ class EngineSession:
                     profile.compute_ns += action.duration_ns
                 continue
 
+            is_write = False
             if isinstance(action, Read):
                 requests: tuple[tuple[int, int], ...] = ((action.address, action.length),)
             elif isinstance(action, ReadBatch):
@@ -355,18 +394,37 @@ class EngineSession:
                 if not requests:
                     state.send_value = []
                     continue
+            elif isinstance(action, Write):
+                is_write = True
+                requests = ((action.address, action.length),)
+            elif isinstance(action, WriteBatch):
+                is_write = True
+                requests = action.requests
+                if not requests:
+                    state.send_value = None
+                    continue
             else:
                 raise TypeError(f"task yielded unsupported action {action!r}")
 
             # Issue each request: CPU overhead, then device booking.
+            # Writes book the same device time as reads (compaction and
+            # queries compete for one IOPS budget) but are tallied on
+            # their own counters and carry no store payload back.
             completions = []
             for address, length in requests:
                 now += engine.interface.cpu_overhead_ns
                 self.io_cpu_ns += engine.interface.cpu_overhead_ns
                 completions.append(engine.volume.submit(now, address, length))
-                self.io_count += 1
-            data = [engine.store.read(address, length) for address, length in requests]
-            payload: Any = data[0] if isinstance(action, Read) else data
+                if is_write:
+                    self.write_count += 1
+                    self.write_bytes += length
+                else:
+                    self.io_count += 1
+            if is_write:
+                payload: Any = None
+            else:
+                data = [engine.store.read(address, length) for address, length in requests]
+                payload = data[0] if isinstance(action, Read) else data
             done_ns = max(completions)
             if profile is not None:
                 overhead = engine.interface.cpu_overhead_ns * len(requests)
@@ -419,6 +477,8 @@ class EngineSession:
             stall_ns=self.stall_ns,
             device_stats=self.engine.volume.combined_stats(),
             workers=self.workers,
+            write_count=self.write_count,
+            write_bytes=self.write_bytes,
         )
 
 

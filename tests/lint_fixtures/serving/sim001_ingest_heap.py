@@ -1,0 +1,24 @@
+"""SIM001 fixtures: the ingest update heap carries EVENT_UPDATE too.
+
+The five-source serving loop added updates as a fifth event class; an
+ingest arrival pushed without its ``EVENT_UPDATE`` tag would tie-break
+against query events by payload instead of by the pinned order.
+"""
+
+import heapq
+
+EVENT_UPDATE = 4
+
+__all__ = [
+    "EVENT_UPDATE",
+    "bad_untagged_update",
+    "ok_tagged_update",
+]
+
+
+def bad_untagged_update(heap: list, time_ns: float, update_id: int) -> None:
+    heapq.heappush(heap, (time_ns, update_id))  # expect[SIM001]
+
+
+def ok_tagged_update(heap: list, time_ns: float, update_id: int) -> None:
+    heapq.heappush(heap, (time_ns, EVENT_UPDATE, update_id))

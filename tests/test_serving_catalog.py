@@ -9,7 +9,7 @@ from repro.serving.catalog import CATALOG_NAMES, build_scenario, catalog
 from repro.serving.scenario import ScenarioSpec, run_scenario
 
 
-def test_catalog_names_are_the_committed_six():
+def test_catalog_names_are_the_committed_eight():
     assert CATALOG_NAMES == (
         "steady-state",
         "flash-crowd",
@@ -17,6 +17,8 @@ def test_catalog_names_are_the_committed_six():
         "hot-set-drift",
         "replica-stall-storm",
         "correlated-fault",
+        "steady-ingest",
+        "compaction-stall-storm",
     )
     assert len(catalog(quick=True)) == len(CATALOG_NAMES)
 
